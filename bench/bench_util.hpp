@@ -1,0 +1,46 @@
+// Shared helpers for the experiment drivers (one binary per paper table /
+// figure; see DESIGN.md Section 4 and EXPERIMENTS.md for results).
+#pragma once
+
+#include "dft/design.hpp"
+#include "power/power.hpp"
+#include "dft/scan.hpp"
+#include "iscas/circuits.hpp"
+
+#include <string>
+#include <vector>
+
+namespace flh::bench {
+
+inline const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+/// A paper circuit with full scan inserted (the common substrate of all
+/// three holding styles).
+inline Netlist scannedCircuit(const std::string& name) {
+    Netlist nl = makeCircuit(name, lib());
+    insertScan(nl);
+    return nl;
+}
+
+/// Power configuration with the circuit's workload-realism activity knobs.
+inline PowerConfig powerConfigFor(const std::string& name, std::uint64_t seed = 1234) {
+    PowerConfig cfg;
+    cfg.seed = seed;
+    if (name != "s27") {
+        cfg.ff_hold_prob = findCircuit(name).ff_hold_prob;
+        // Control-dominated circuits idle on the input side too.
+        cfg.pi_toggle_prob = 0.3 * (1.0 - 0.8 * cfg.ff_hold_prob);
+    }
+    return cfg;
+}
+
+inline std::vector<std::string> paperCircuitNames() {
+    std::vector<std::string> names;
+    for (const CircuitSpec& s : paperCircuits()) names.push_back(s.name);
+    return names;
+}
+
+} // namespace flh::bench

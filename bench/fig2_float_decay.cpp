@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 2: supply gating applied to the first stage of an
+// inverter chain WITHOUT the keeper.
+//
+// Stimulus (the paper's scenario): IN = 0 with OUT1 = 1; SLEEP asserts at
+// t = 1 ns; IN switches to 1 at t = 2 ns and stays. The floated OUT1 node
+// leaks away, falls below 600 mV within a ~100 ns-scale window, and as it
+// crosses mid-rail the second and third stages conduct static short-circuit
+// current (Idd2, Idd3) — culminating in a spurious state flip.
+#include "analog/flh_chain.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+
+int main() {
+    const Tech& tech = defaultTech();
+    ChainConfig cfg; // keeper disabled: the failure mode under study
+    GatedChain chain = buildGatedInverterChain(
+        tech, cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return t < 1000.0 ? 0.0 : 1.0; });
+
+    const auto tr = chain.ckt.run(
+        250000.0, 1.0,
+        {{"OUT1", false, chain.outs[0]},
+         {"OUT2", false, chain.outs[1]},
+         {"OUT3", false, chain.outs[2]},
+         {"Idd2", true, static_cast<std::uint32_t>(chain.pmos_devs[1])},
+         {"Idd3", true, static_cast<std::uint32_t>(chain.pmos_devs[2])}},
+        250);
+
+    TextTable table({"t (ns)", "OUT1 (V)", "OUT2 (V)", "OUT3 (V)", "Idd2 (uA)", "Idd3 (uA)"});
+    const auto& t = tr.time_ps;
+    for (std::size_t i = 0; i < t.size(); i += t.size() / 18 + 1) {
+        table.addRow({fmt(t[i] / 1000.0, 1), fmt(tr.trace("OUT1")[i], 3),
+                      fmt(tr.trace("OUT2")[i], 3), fmt(tr.trace("OUT3")[i], 3),
+                      fmt(tr.trace("Idd2")[i], 3), fmt(tr.trace("Idd3")[i], 3)});
+    }
+
+    // Summary figures the paper quotes.
+    double t_600 = -1.0;
+    double peak_idd2 = 0.0;
+    bool flipped = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t_600 < 0.0 && tr.trace("OUT1")[i] < 0.6) t_600 = t[i];
+        peak_idd2 = std::max(peak_idd2, tr.trace("Idd2")[i]);
+        if (tr.trace("OUT2")[i] > 0.8 && t[i] > 3000.0) flipped = true;
+    }
+
+    std::cout << "FIG. 2: SUPPLY GATING WITHOUT KEEPER — FLOATING-NODE DECAY\n"
+              << "(SLEEP asserted at 1 ns, IN switches 0->1 at 2 ns)\n"
+              << table.render() << "\n";
+    std::cout << "OUT1 falls below 600 mV at t = " << fmt(t_600 / 1000.0, 1) << " ns\n";
+    std::cout << "Peak static short-circuit current in stage 2: " << fmt(peak_idd2, 2)
+              << " uA\n";
+    std::cout << "Downstream state flip observed: " << (flipped ? "yes" : "no") << "\n";
+    std::cout << "\nPaper reference: at 70 nm BPTM the voltage of OUT1 falls below 600 mV in\n"
+                 "less than 100 ns — far shorter than a 1000-FF scan load at 1 GHz (1 us) —\n"
+                 "driving static short-circuit current in the following stages.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 4: the FLH scheme (supply gating + keeper) applied
+// to the same inverter chain and stimulus as Fig. 2. With the keeper loop
+// closed in sleep mode, OUT1/OUT2/OUT3 hold their state for the entire
+// scan-length window despite the input switching.
+#include "analog/flh_chain.hpp"
+#include "util/table.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace flh;
+
+int main() {
+    const Tech& tech = defaultTech();
+    ChainConfig cfg;
+    cfg.with_keeper = true;
+    GatedChain chain = buildGatedInverterChain(
+        tech, cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return t < 1000.0 ? 0.0 : 1.0; });
+
+    const auto tr = chain.ckt.run(250000.0, 1.0,
+                                  {{"IN", false, chain.in},
+                                   {"OUT1", false, chain.outs[0]},
+                                   {"OUT2", false, chain.outs[1]},
+                                   {"OUT3", false, chain.outs[2]}},
+                                  250);
+
+    TextTable table({"t (ns)", "IN (V)", "OUT1 (V)", "OUT2 (V)", "OUT3 (V)"});
+    const auto& t = tr.time_ps;
+    for (std::size_t i = 0; i < t.size(); i += t.size() / 18 + 1) {
+        table.addRow({fmt(t[i] / 1000.0, 1), fmt(tr.trace("IN")[i], 3),
+                      fmt(tr.trace("OUT1")[i], 3), fmt(tr.trace("OUT2")[i], 3),
+                      fmt(tr.trace("OUT3")[i], 3)});
+    }
+
+    double out1_min = 1e9;
+    for (const double v : tr.trace("OUT1")) out1_min = std::min(out1_min, v);
+
+    std::cout << "FIG. 4: FLH SCHEME (GATING + KEEPER) — STATE HELD THROUGH SLEEP\n"
+              << "(SLEEP asserted at 1 ns, IN switches 0->1 at 2 ns, window 250 ns)\n"
+              << table.render() << "\n";
+    std::cout << "Minimum OUT1 voltage across the window: " << fmt(out1_min, 3) << " V\n";
+    std::cout << "Held at end of window: OUT1 = " << fmt(tr.trace("OUT1").back(), 3)
+              << " V, OUT2 = " << fmt(tr.trace("OUT2").back(), 3)
+              << " V, OUT3 = " << fmt(tr.trace("OUT3").back(), 3) << " V\n";
+    std::cout << "\nPaper reference: \"the circuit can strongly hold its state (OUT1, OUT2,\n"
+                 "and OUT3) despite the switching at the input (IN)\".\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Engineering throughput benchmarks (google-benchmark) for the simulation
+// and analysis kernels underlying every experiment: event-driven logic
+// simulation, parallel-pattern fault simulation, STA, power analysis, and
+// the analog transient stepper.
+#include "bench_util.hpp"
+#include "analog/flh_chain.hpp"
+#include "fault/fault_sim.hpp"
+#include "power/power.hpp"
+#include "sta/timing.hpp"
+#include "util/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace flh;
+using namespace flh::bench;
+
+namespace {
+
+const Netlist& circuitFor(const ::benchmark::State& state) {
+    static const std::vector<std::string> names = {"s298", "s1423", "s5378"};
+    static std::vector<Netlist> circuits = [] {
+        std::vector<Netlist> v;
+        for (const auto& n : names) v.push_back(scannedCircuit(n));
+        return v;
+    }();
+    return circuits[static_cast<std::size_t>(state.range(0))];
+}
+
+void BM_EventSimFullEval(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    PatternSim sim(nl);
+    Rng rng(1);
+    for (auto _ : state) {
+        for (const NetId pi : nl.pis()) sim.setNet(pi, PV{rng.next(), 0});
+        for (const GateId ff : nl.flipFlops())
+            sim.setNet(nl.gate(ff).output, PV{rng.next(), 0});
+        benchmark::DoNotOptimize(sim.propagate());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventSimFullEval)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_StuckAtFaultSim(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto pats = randomPatterns(nl, 64, 3);
+    const auto faults = collapsedStuckAtFaults(nl);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runStuckAtFaultSim(nl, pats, faults).detected);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_StuckAtFaultSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Sta(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runSta(nl).critical_delay_ps);
+    }
+}
+BENCHMARK(BM_Sta)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_NormalPower(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    PowerConfig cfg;
+    cfg.n_vectors = 20;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(measureNormalPower(nl, {}, cfg).totalUw());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20 * 64);
+}
+BENCHMARK(BM_NormalPower)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_AnalogTransient(benchmark::State& state) {
+    ChainConfig cfg;
+    cfg.with_keeper = true;
+    for (auto _ : state) {
+        GatedChain chain = buildGatedInverterChain(
+            defaultTech(), cfg, [](double t) { return t < 500.0 ? 0.0 : 1.0; },
+            [](double) { return 0.0; });
+        benchmark::DoNotOptimize(
+            chain.ckt.run(5000.0, 0.5, {{"OUT1", false, chain.outs[0]}}, 100).time_ps.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_AnalogTransient)->Unit(benchmark::kMillisecond);
+
+void BM_ScanShiftSim(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            measureScanShiftPower(nl, HoldStyle::Flh, 2).comb_toggles);
+    }
+}
+BENCHMARK(BM_ScanShiftSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Path-delay testing of the timing-critical paths (Section IV: "path delay
+// fault models remain valid"; Section I: delay testing motivated by process
+// variation making nominally-safe paths fail timing).
+//
+// Two findings this bench quantifies:
+//  1. Most structurally-long paths are *false paths* — the side-input
+//     constraints of static (non-robust) sensitization are provably
+//     unsatisfiable. This is the classical reason the transition-fault
+//     model (Tables in the paper) dominates practice, with path tests
+//     reserved for the few sensitizable critical paths.
+//  2. For the sensitizable paths, arbitrary two-pattern application
+//     (enhanced scan = FLH) tests at least as many as the constrained
+//     styles, whose V1 justification can fail.
+#include "bench_util.hpp"
+#include "atpg/path_atpg.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+#include <array>
+#include <map>
+
+using namespace flh;
+using namespace flh::bench;
+
+int main() {
+    std::cout << "PATH-DELAY TESTING OF NEAR-CRITICAL PATHS\n\n";
+
+    // --- testability by path length (false-path decay), collecting the
+    //     sensitizable population for the style comparison below -------------
+    TextTable t1({"Ckt", "Path length bucket", "Paths", "Sensitizable+tested (FLH) %",
+                  "Proven false-path %"});
+    std::map<std::string, std::vector<DelayPath>> sensitizable;
+    for (const std::string& name : {std::string("s298"), std::string("s838")}) {
+        const Netlist nl = scannedCircuit(name);
+        const TimingResult sta = runSta(nl);
+        const auto paths = enumerateCriticalPaths(nl, {}, 0.75 * sta.critical_delay_ps, 400);
+        PathAtpgConfig cfg;
+        cfg.podem.max_backtracks = 400;
+        std::map<int, std::array<std::size_t, 3>> buckets; // len/3 -> {n, tested, false}
+        for (const DelayPath& p : paths) {
+            const std::vector<DelayPath> one = {p};
+            const auto r = generatePathDelayTests(nl, one, TestApplication::EnhancedScan, cfg);
+            auto& b = buckets[static_cast<int>(p.length()) / 3];
+            b[0] += r.attempted;
+            b[1] += r.tested;
+            b[2] += r.unsensitizable + r.infeasible;
+            if (r.tested > 0) sensitizable[name].push_back(p);
+        }
+        for (const auto& [len3, b] : buckets) {
+            t1.addRow({name, std::to_string(len3 * 3) + "-" + std::to_string(len3 * 3 + 2),
+                       std::to_string(b[0]), fmt(100.0 * b[1] / b[0], 1),
+                       fmt(100.0 * b[2] / b[0], 1)});
+        }
+        t1.addRule();
+    }
+    std::cout << "Static sensitizability collapses with path length (false paths):\n"
+              << t1.render() << "\n";
+
+    // --- style comparison on the *sensitizable* population ------------------
+    TextTable t2({"Ckt", "Sensitizable paths", "Enh-scan/FLH tested", "Skewed-load tested",
+                  "Broadside tested"});
+    for (const auto& [name, paths] : sensitizable) {
+        if (paths.empty()) continue;
+        const Netlist nl = scannedCircuit(name);
+        PathAtpgConfig cfg;
+        cfg.podem.max_backtracks = 400;
+        const auto enh = generatePathDelayTests(nl, paths, TestApplication::EnhancedScan, cfg);
+        const auto skw = generatePathDelayTests(nl, paths, TestApplication::SkewedLoad, cfg);
+        const auto brd = generatePathDelayTests(nl, paths, TestApplication::Broadside, cfg);
+        t2.addRow({name, std::to_string(paths.size()),
+                   std::to_string(enh.tested) + "/" + std::to_string(enh.attempted),
+                   std::to_string(skw.tested) + "/" + std::to_string(skw.attempted),
+                   std::to_string(brd.tested) + "/" + std::to_string(brd.attempted)});
+    }
+    std::cout << "On the sensitizable paths, arbitrary pairs apply every test:\n"
+              << t2.render() << "\n";
+
+    // FLH's own timing effect on path selection.
+    {
+        const Netlist nl = scannedCircuit("s641");
+        const auto base = enumerateCriticalPaths(nl, {}, 30.0, 24);
+        const DftDesign d = planDft(nl, HoldStyle::Flh);
+        const auto with = enumerateCriticalPaths(nl, makeTimingOverlay(nl, d), 30.0, 24);
+        std::size_t common = 0;
+        for (const DelayPath& p : with)
+            for (const DelayPath& q : base)
+                if (p.nets == q.nets) {
+                    ++common;
+                    break;
+                }
+        std::cout << "s641 near-critical path set, base vs FLH-equipped: " << base.size()
+                  << " vs " << with.size() << " paths, " << common
+                  << " common — the small FLH delay adder barely moves the target set.\n";
+    }
+
+    std::cout << "\nPaper context: the transition-fault model (Tables I-III, Section IV)\n"
+                 "is the workhorse precisely because long paths are rarely statically\n"
+                 "sensitizable; where path tests exist, FLH applies them unconstrained.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Small-delay defect (SDD) grading of the at-speed test sets.
+//
+// The paper's Fig. 5(b) captures "after one rated clock period" — at-speed
+// capture — which is exactly what gives a transition test set power against
+// *small* delay defects. This bench grades the arbitrary-pair test set
+// across defect sizes (structural detectability bound) and reports the
+// N-detect profile: more tests exercise each fault through more paths,
+// the standard lever for real SDD quality. Note how the few sites where a
+// tiny defect matters (near-critical nets) are also the hardest to cover.
+#include "bench_util.hpp"
+#include "atpg/transition_atpg.hpp"
+#include "fault/small_delay.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+using namespace flh::bench;
+
+int main() {
+    const std::string circuit = "s838";
+    const Netlist nl = scannedCircuit(circuit);
+    const TimingResult sta = runSta(nl);
+    const auto faults = allTransitionFaults(nl);
+    const double clock = sta.critical_delay_ps * 1.05;
+
+    std::cout << "SMALL-DELAY DEFECT GRADING (" << circuit << ", Tcrit = "
+              << fmt(sta.critical_delay_ps, 1) << " ps, capture clock = " << fmt(clock, 1)
+              << " ps)\n\n";
+
+    TransitionAtpgConfig cfg;
+    cfg.random_pairs = 32;
+    const auto base = generateTransitionTests(nl, TestApplication::EnhancedScan, faults, cfg);
+    TransitionAtpgConfig cfg_big = cfg;
+    cfg_big.random_pairs = 192;
+    const auto big = generateTransitionTests(nl, TestApplication::EnhancedScan, faults, cfg_big);
+
+    const std::vector<double> sizes = {25.0, 75.0, 150.0, 300.0, 600.0, 1e9};
+    const auto g_base = gradeSmallDelayCoverage(nl, {}, base.tests, faults, clock, sizes);
+    const auto g_big = gradeSmallDelayCoverage(nl, {}, big.tests, faults, clock, sizes);
+
+    TextTable table({"Defect size (ps)", "Detectable sites",
+                     "SDD coverage % (" + std::to_string(base.tests.size()) + " tests)",
+                     "SDD coverage % (" + std::to_string(big.tests.size()) + " tests)"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        table.addRow({sizes[i] > 1e8 ? "inf (plain TF)" : fmt(sizes[i], 0),
+                      std::to_string(g_base[i].detectable), fmt(g_base[i].coveragePct(), 1),
+                      fmt(g_big[i].coveragePct(), 1)});
+    }
+    std::cout << table.render() << "\n";
+
+    // N-detect profile of the two sets.
+    const auto c_base = countTransitionDetections(nl, base.tests, faults);
+    const auto c_big = countTransitionDetections(nl, big.tests, faults);
+    const auto profile = [](const std::vector<std::size_t>& c) {
+        std::size_t n1 = 0;
+        std::size_t n5 = 0;
+        for (const std::size_t k : c) {
+            if (k >= 1) ++n1;
+            if (k >= 5) ++n5;
+        }
+        return std::make_pair(n1, n5);
+    };
+    const auto [b1, b5] = profile(c_base);
+    const auto [g1, g5] = profile(c_big);
+    std::cout << "N-detect profile: small set detects " << b1 << " faults (>=5x: " << b5
+              << "); large set detects " << g1 << " (>=5x: " << g5 << ")\n";
+    std::cout << "\nAt-speed capture through FLH's rated-clock launch (Fig. 5b) is what\n"
+                 "makes these small defect sizes observable at all. The SDD columns are a\n"
+                 "structural detectability bound (path-exact credit would need timing-\n"
+                 "aware fault simulation); the N-detect profile is the actionable lever —\n"
+                 "the larger set multiplies the paths through which each fault is seen.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Section IV's coverage claims:
+//  1. "Fault coverage and fault models remain unaffected with the insertion
+//     of FLH logic ... fault coverage for enhanced scan and FLH for a given
+//     test set remain unchanged" — demonstrated by applying the *same*
+//     vector set through both schemes' Fig. 5b protocol.
+//  2. The motivating ordering of Section I: broadside < skewed-load <
+//     enhanced-scan (=FLH) transition-fault coverage under equal ATPG effort.
+//  3. Stuck-at coverage is unaffected in normal mode (gating transistors ON).
+#include "bench_util.hpp"
+#include "atpg/transition_atpg.hpp"
+#include "core/kit.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+using namespace flh::bench;
+
+int main() {
+    std::cout << "SECTION IV: FAULT COVERAGE ACROSS APPLICATION STYLES\n\n";
+
+    // --- transition coverage ordering ------------------------------------
+    TextTable t1({"Ckt", "Transition faults", "Broadside %", "Skewed-load %",
+                  "Enhanced-scan/FLH %"});
+    for (const std::string& name :
+         {std::string("s641"), std::string("s838"), std::string("s1423")}) {
+        const Netlist nl = scannedCircuit(name);
+        const auto faults = allTransitionFaults(nl);
+        TransitionAtpgConfig cfg;
+        cfg.random_pairs = 48;
+        cfg.justify_retries = 1;
+        cfg.podem.max_backtracks = 60;
+        const auto brd = generateTransitionTests(nl, TestApplication::Broadside, faults, cfg);
+        const auto skw = generateTransitionTests(nl, TestApplication::SkewedLoad, faults, cfg);
+        const auto enh = generateTransitionTests(nl, TestApplication::EnhancedScan, faults, cfg);
+        t1.addRow({name, std::to_string(faults.size()), fmt(brd.coverage.coveragePct(), 1),
+                   fmt(skw.coverage.coveragePct(), 1), fmt(enh.coverage.coveragePct(), 1)});
+    }
+    std::cout << t1.render() << "\n";
+
+    // --- identical coverage, FLH vs enhanced scan, same vectors -----------
+    TextTable t2({"Ckt", "Tests", "Coverage % (enh. scan)", "Coverage % (FLH)",
+                  "Faithful applications (enh/FLH)"});
+    for (const std::string& name : {std::string("s298"), std::string("s344")}) {
+        const DelayTestKit kit = DelayTestKit::forCircuit(name);
+        TransitionAtpgConfig cfg;
+        cfg.random_pairs = 48;
+        const CampaignResult enh = kit.runDelayTestCampaign(HoldStyle::EnhancedScan, cfg, 16);
+        const CampaignResult flh = kit.runDelayTestCampaign(HoldStyle::Flh, cfg, 16);
+        t2.addRow({name, std::to_string(flh.tests), fmt(enh.coverage_pct, 2),
+                   fmt(flh.coverage_pct, 2),
+                   std::to_string(enh.launches_faithful) + "/" +
+                       std::to_string(flh.launches_faithful)});
+    }
+    std::cout << t2.render() << "\n";
+
+    // --- stuck-at coverage unchanged in normal mode ------------------------
+    TextTable t3({"Ckt", "Collapsed SA faults", "Coverage %", "Untestable",
+                  "ATPG efficiency % (testable)"});
+    for (const std::string& name : {std::string("s27"), std::string("s298")}) {
+        const Netlist nl = scannedCircuit(name);
+        const auto faults = collapsedStuckAtFaults(nl);
+        const StuckAtpgResult r = generateStuckAtTests(nl, faults);
+        const double testable =
+            static_cast<double>(faults.size()) - static_cast<double>(r.untestable);
+        t3.addRow({name, std::to_string(faults.size()), fmt(r.coverage.coveragePct(), 2),
+                   std::to_string(r.untestable),
+                   fmt(100.0 * static_cast<double>(r.coverage.detected) / testable, 2)});
+    }
+    std::cout << t3.render() << "\n";
+
+    std::cout << "Paper reference: FLH does not change test generation, test application\n"
+                 "or fault coverage; enhanced-scan-style arbitrary pairs dominate the\n"
+                 "constrained styles (broadside lowest), which is the technique's reason\n"
+                 "to exist.\n";
+    return 0;
+}

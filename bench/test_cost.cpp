@@ -1,0 +1,71 @@
+// Test-cost analysis (Section I's efficiency argument made quantitative:
+// alternative techniques "are either not as efficient as enhanced scan
+// method with respect to fault coverage and required number of test
+// patterns, or they complicate the test generation/application").
+//
+// Scan-cycle cost per applied test (chain length n, scan-out overlapped
+// with the next load):
+//   enhanced scan / FLH : 2n + 3   (two chain loads per test, Fig. 5b)
+//   skewed-load         : n + 2    (one load + one extra shift)
+//   broadside           : n + 2    (one load, functional launch)
+// The constrained styles are cheaper per test but reach a lower coverage
+// ceiling and need more tests for what they do reach; this bench reports
+// the full trade: coverage ceiling, compacted test counts, total cycles.
+#include "bench_util.hpp"
+#include "atpg/compaction.hpp"
+#include "atpg/transition_atpg.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+using namespace flh::bench;
+
+namespace {
+
+std::size_t cyclesPerTest(TestApplication style, std::size_t chain) {
+    switch (style) {
+        case TestApplication::EnhancedScan: return 2 * chain + 3;
+        case TestApplication::SkewedLoad:
+        case TestApplication::Broadside: return chain + 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+int main() {
+    std::cout << "TEST COST: COVERAGE vs SCAN CYCLES PER APPLICATION STYLE\n\n";
+
+    TextTable table({"Ckt", "Style", "Coverage %", "Tests (compacted)", "Cycles/test",
+                     "Total cycles", "Cycles per covered fault"});
+    for (const std::string& name : {std::string("s298"), std::string("s838")}) {
+        const Netlist nl = scannedCircuit(name);
+        const std::size_t chain = nl.flipFlops().size();
+        const auto faults = allTransitionFaults(nl);
+        for (const TestApplication style :
+             {TestApplication::EnhancedScan, TestApplication::SkewedLoad,
+              TestApplication::Broadside}) {
+            TransitionAtpgConfig cfg;
+            cfg.random_pairs = 96;
+            cfg.podem.max_backtracks = 120;
+            auto r = generateTransitionTests(nl, style, faults, cfg);
+            compactTransitionTests(nl, r.tests, faults);
+            const std::size_t per = cyclesPerTest(style, chain);
+            const std::size_t total = per * r.tests.size();
+            table.addRow({name, toString(style), fmt(r.coverage.coveragePct(), 1),
+                          std::to_string(r.tests.size()), std::to_string(per),
+                          std::to_string(total),
+                          fmt(static_cast<double>(total) /
+                                  std::max<double>(1.0, static_cast<double>(r.coverage.detected)),
+                              1)});
+        }
+        table.addRule();
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Enhanced-scan/FLH application costs two chain loads per test but buys\n"
+                 "the highest coverage ceiling; the constrained styles never reach it no\n"
+                 "matter how many cycles they spend. FLH's contribution is getting the\n"
+                 "left column's coverage at near-zero normal-mode cost (Tables I-III).\n";
+    return 0;
+}

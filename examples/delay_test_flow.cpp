@@ -1,0 +1,63 @@
+// End-to-end delay-test flow: generate a two-pattern transition-fault test
+// set, apply it through the Fig. 5(b) protocol on an FLH-equipped circuit,
+// audit every application, and finally show an actual slow gate being caught
+// by comparing a faulty machine's captures against the good ones.
+#include "core/kit.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+
+int main(int argc, char** argv) {
+    const std::string circuit = argc > 1 ? argv[1] : "s344";
+    const DelayTestKit kit = DelayTestKit::forCircuit(circuit);
+    const Netlist& nl = kit.netlist();
+
+    std::cout << "=== Delay-test flow on " << circuit << " (FLH) ===\n\n";
+
+    // 1. Generate the test set (arbitrary pairs — FLH's whole point).
+    const auto faults = allTransitionFaults(nl);
+    TransitionAtpgConfig cfg;
+    cfg.random_pairs = 64;
+    const TransitionAtpgResult atpg =
+        generateTransitionTests(nl, TestApplication::EnhancedScan, faults, cfg);
+    std::cout << "ATPG: " << atpg.tests.size() << " two-pattern tests, "
+              << fmt(atpg.coverage.coveragePct(), 2) << "% transition coverage ("
+              << atpg.untestable << " untestable, " << atpg.aborted << " aborted)\n";
+
+    // 2. Apply a sample through the scan protocol and audit it.
+    TwoPatternApplicator app(nl, HoldStyle::Flh);
+    std::size_t faithful = 0;
+    const std::size_t n_apply = std::min<std::size_t>(16, atpg.tests.size());
+    for (std::size_t i = 0; i < n_apply; ++i) {
+        const ApplicationResult r = app.apply(atpg.tests[i]);
+        if (r.launch_faithful && r.captured == expectedCapture(nl, atpg.tests[i])) ++faithful;
+    }
+    std::cout << "Application audit: " << faithful << "/" << n_apply
+              << " tests applied with intact hold, faithful launch, correct capture\n\n";
+
+    // 3. Demonstrate detection: for a handful of faults, check that the test
+    //    set distinguishes the faulty machine (its launched transition never
+    //    arrives) from the good one.
+    TextTable table({"Fault", "Detected by test #", "Observation"});
+    int shown = 0;
+    for (std::size_t fi = 0; fi < faults.size() && shown < 6; ++fi) {
+        if (!atpg.coverage.detected_mask[fi]) continue;
+        // Find the first test that catches it.
+        for (std::size_t ti = 0; ti < atpg.tests.size(); ++ti) {
+            const TwoPattern one[1] = {atpg.tests[ti]};
+            const TransitionFault f[1] = {faults[fi]};
+            if (runTransitionFaultSim(nl, one, f).detected == 1) {
+                table.addRow({toString(nl, faults[fi]), std::to_string(ti),
+                              "captured response differs from good machine"});
+                ++shown;
+                break;
+            }
+        }
+    }
+    std::cout << "Sample detections:\n" << table.render();
+    std::cout << "\nThe same vectors applied with enhanced-scan hardware give identical\n"
+                 "coverage (Section IV) — FLH changes the holding mechanism, not the test.\n";
+    return 0;
+}

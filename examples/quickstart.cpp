@@ -1,0 +1,57 @@
+// Quickstart: load a circuit, insert full scan + FLH, and read the costs.
+//
+// Shows the three entry points most users need:
+//   1. DelayTestKit::forCircuit — a registered ISCAS89-like benchmark;
+//   2. readBenchString — your own netlist in .bench format;
+//   3. evaluate(HoldStyle::...) — the area/delay/power comparison engine.
+#include "core/kit.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+
+int main() {
+    // --- 1. a registered benchmark ----------------------------------------
+    DelayTestKit kit = DelayTestKit::forCircuit("s298");
+    const NetlistStats st = kit.stats();
+    std::cout << "Circuit s298: " << st.n_ffs << " scan FFs, " << st.n_comb_gates
+              << " gates, depth " << st.logic_depth << ", " << st.unique_first_level
+              << " unique first-level gates (ratio " << fmt(st.uniqueFanoutRatio(), 2)
+              << " per FF)\n\n";
+
+    TextTable table({"Holding style", "Area ovh %", "Delay ovh %", "Power ovh %"});
+    for (const HoldStyle style :
+         {HoldStyle::EnhancedScan, HoldStyle::MuxHold, HoldStyle::Flh}) {
+        const DftEvaluation e = kit.evaluate(style);
+        table.addRow({toString(style), fmt(e.area_increase_pct), fmt(e.delay_increase_pct),
+                      fmt(e.power_increase_pct)});
+    }
+    std::cout << table.render() << "\n";
+
+    // --- 2. your own netlist in .bench format ------------------------------
+    const std::string my_design = R"(
+INPUT(clk_en)
+INPUT(d0)
+INPUT(d1)
+OUTPUT(match)
+q0 = DFF(n0)
+q1 = DFF(n1)
+n0 = MUX2(q0, d0, clk_en)
+n1 = MUX2(q1, d1, clk_en)
+x0 = XNOR(q0, d0)
+x1 = XNOR(q1, d1)
+match = AND(x0, x1)
+)";
+    const Library& lib = DelayTestKit::forCircuit("s27").library();
+    DelayTestKit mine(readBenchString(my_design, "matcher", lib));
+    std::cout << "Custom 'matcher' design: scan chain of " << mine.scanInfo().chain_length
+              << " FFs, FLH gates " << planDft(mine.netlist(), HoldStyle::Flh).gated_gates.size()
+              << " first-level gates\n";
+    const DftEvaluation e = mine.evaluate(HoldStyle::Flh);
+    std::cout << "FLH on 'matcher': +" << fmt(e.area_increase_pct) << "% area, +"
+              << fmt(e.delay_increase_pct) << "% delay, +" << fmt(e.power_increase_pct)
+              << "% power\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Scan power audit: how much energy does a full scan-test session burn in
+// the combinational block under each holding style?
+//
+// A test session = N pattern loads through the chain. Plain scan pays the
+// redundant-switching tax on every shift cycle (Section IV); enhanced scan
+// and FLH suppress it completely — FLH while keeping the *area* of the
+// holding hardware on the first-level gates instead of on every FF.
+#include "core/kit.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace flh;
+
+int main(int argc, char** argv) {
+    const std::string circuit = argc > 1 ? argv[1] : "s641";
+    const DelayTestKit kit = DelayTestKit::forCircuit(circuit);
+    const std::size_t chain = kit.scanInfo().chain_length;
+
+    std::cout << "=== Scan power audit: " << circuit << " (chain length " << chain
+              << ") ===\n\n";
+
+    TextTable table({"Style", "Comb shift power (uW)", "FF-output wire power (uW)",
+                     "Comb toggles", "Holding area (um^2)"});
+    for (const HoldStyle s :
+         {HoldStyle::None, HoldStyle::EnhancedScan, HoldStyle::MuxHold, HoldStyle::Flh}) {
+        const ScanShiftPowerResult r = kit.scanShiftPower(s);
+        const double area = dftAreaUm2(kit.netlist(), planDft(kit.netlist(), s));
+        table.addRow({toString(s), fmt(r.comb_switching_uw, 3), fmt(r.ffq_switching_uw, 3),
+                      std::to_string(r.comb_toggles), fmt(area, 2)});
+    }
+    std::cout << table.render() << "\n";
+
+    const auto none = kit.scanShiftPower(HoldStyle::None);
+    const double share =
+        100.0 * none.comb_switching_uw / (none.comb_switching_uw + none.ffq_switching_uw);
+    std::cout << "Without holding, " << fmt(share, 1)
+              << "% of shift-mode switching power is redundant combinational activity\n"
+                 "(Gerstendorfer & Wunderlich report ~78% of test energy in this class).\n"
+                 "Both enhanced scan and FLH eliminate it; FLH additionally keeps the\n"
+                 "scan-FF outputs free of extra series elements in normal mode.\n";
+    return 0;
+}

@@ -1,0 +1,166 @@
+#include "analog/analog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace flh {
+
+double MosModel::currentUa(double vgs, double vds, double w_units) const {
+    // Symmetric device: fold vds < 0 onto the caller (see deviceCurrentUa).
+    assert(vds >= 0.0);
+    const double vt_thermal = 0.0259;
+    const double vov = vgs - vth;
+    if (vov <= 0.0) {
+        // Subthreshold: exponential in vgs, saturating in vds.
+        const double i0 = i_off_na * 1e-3 * std::exp(vth / (n_sub * vt_thermal)); // uA at vgs=vth
+        return i0 * w_units * std::exp(vov / (n_sub * vt_thermal)) *
+               (1.0 - std::exp(-vds / vt_thermal));
+    }
+    if (vds >= vov) {
+        return 0.5 * k_ua_per_v2 * w_units * vov * vov * (1.0 + lambda * vds);
+    }
+    return k_ua_per_v2 * w_units * (vov * vds - 0.5 * vds * vds);
+}
+
+MosModel nmosModel(const Tech& t) {
+    MosModel m;
+    m.vth = t.vth_n;
+    m.i_off_na = t.i_off_na_per_um * t.w_min_um;
+    return m;
+}
+
+MosModel pmosModel(const Tech& t) {
+    MosModel m;
+    m.vth = t.vth_p;
+    m.k_ua_per_v2 = 260.0 / t.mobility_ratio;
+    m.i_off_na = t.i_off_na_per_um * t.w_min_um / t.mobility_ratio;
+    return m;
+}
+
+AnalogCircuit::AnalogCircuit(const Tech& tech)
+    : tech_(tech), nmos_(nmosModel(tech)), pmos_(pmosModel(tech)) {}
+
+NodeId AnalogCircuit::addNode(std::string name, double cap_ff) {
+    const NodeId id = static_cast<NodeId>(names_.size());
+    names_.push_back(std::move(name));
+    cap_ff_.push_back(cap_ff);
+    init_v_.push_back(0.0);
+    source_index_.push_back(-1);
+    return id;
+}
+
+NodeId AnalogCircuit::addSource(std::string name, Stimulus stimulus) {
+    const NodeId id = addNode(std::move(name), 1.0);
+    source_index_[id] = static_cast<int>(stimuli_.size());
+    stimuli_.push_back(std::move(stimulus));
+    return id;
+}
+
+NodeId AnalogCircuit::addRail(std::string name, double volts) {
+    return addSource(std::move(name), [volts](double) { return volts; });
+}
+
+void AnalogCircuit::addCap(NodeId node, double cap_ff) { cap_ff_.at(node) += cap_ff; }
+
+void AnalogCircuit::addCouplingCap(NodeId a, NodeId b, double cap_ff) {
+    couplings_.push_back(Coupling{a, b, cap_ff});
+    // First-order treatment: the coupling cap loads both nodes; its
+    // displacement current is injected explicitly each step.
+    cap_ff_.at(a) += cap_ff;
+    cap_ff_.at(b) += cap_ff;
+}
+
+std::size_t AnalogCircuit::addMos(bool is_pmos, NodeId gate, NodeId source, NodeId drain,
+                                  double w_units) {
+    devices_.push_back(Mos{is_pmos, gate, source, drain, w_units});
+    return devices_.size() - 1;
+}
+
+void AnalogCircuit::setInitialVoltage(NodeId node, double volts) { init_v_.at(node) = volts; }
+
+NodeId AnalogCircuit::node(const std::string& name) const {
+    for (NodeId i = 0; i < names_.size(); ++i)
+        if (names_[i] == name) return i;
+    throw std::out_of_range("no analog node named " + name);
+}
+
+double AnalogCircuit::deviceCurrentUa(const Mos& m, const std::vector<double>& v) const {
+    // Returns current flowing INTO the drain terminal (out of the source).
+    const double vg = v[m.gate];
+    double vs = v[m.source];
+    double vd = v[m.drain];
+    if (!m.is_pmos) {
+        // NMOS conducts with the more negative terminal as source.
+        const bool swapped = vd < vs;
+        if (swapped) std::swap(vs, vd);
+        const double i = nmos_.currentUa(vg - vs, vd - vs, m.w_units);
+        return swapped ? i : -i; // current into the *drain* node terminal
+    }
+    // PMOS: mirror voltages.
+    const bool swapped = vd > vs;
+    if (swapped) std::swap(vs, vd);
+    const double i = pmos_.currentUa(vs - vg, vs - vd, m.w_units);
+    return swapped ? -i : i;
+}
+
+const std::vector<double>& AnalogCircuit::Transient::trace(const std::string& label) const {
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        if (labels[i] == label) return samples[i];
+    throw std::out_of_range("no trace labelled " + label);
+}
+
+AnalogCircuit::Transient AnalogCircuit::run(double t_end_ps, double dt_ps,
+                                            const std::vector<Probe>& probes, int sample_every) {
+    std::vector<double> v = init_v_;
+    std::vector<double> i_node(names_.size(), 0.0);
+
+    Transient out;
+    for (const Probe& p : probes) out.labels.push_back(p.label);
+    out.samples.resize(probes.size());
+
+    const double clamp_v = 0.05; // max voltage move per step (stability)
+    std::vector<double> v_prev = v;
+    long step = 0;
+    for (double t = 0.0; t <= t_end_ps; t += dt_ps, ++step) {
+        v_prev = v;
+        // Sources.
+        for (NodeId n = 0; n < names_.size(); ++n)
+            if (source_index_[n] >= 0) v[n] = stimuli_[static_cast<std::size_t>(source_index_[n])](t);
+
+        if (step % sample_every == 0) {
+            out.time_ps.push_back(t);
+            for (std::size_t pi = 0; pi < probes.size(); ++pi) {
+                const Probe& p = probes[pi];
+                out.samples[pi].push_back(
+                    p.is_device ? std::abs(deviceCurrentUa(devices_[p.index], v)) : v[p.index]);
+            }
+        }
+
+        // Device currents into nodes.
+        std::fill(i_node.begin(), i_node.end(), 0.0);
+        for (const Mos& m : devices_) {
+            const double i = deviceCurrentUa(m, v); // into drain
+            i_node[m.drain] += i;
+            i_node[m.source] -= i;
+        }
+        // Coupling displacement currents: i = C dV/dt of the far plate
+        // (fF * V / ps = mA, hence the 1e3 to uA).
+        for (const Coupling& c : couplings_) {
+            i_node[c.a] += 1e3 * c.cap_ff * (v[c.b] - v_prev[c.b]) / dt_ps;
+            i_node[c.b] += 1e3 * c.cap_ff * (v[c.a] - v_prev[c.a]) / dt_ps;
+        }
+
+        // Explicit Euler with clamping; dV = I*dt/C (uA * ps / fF = mV).
+        for (NodeId n = 0; n < names_.size(); ++n) {
+            if (source_index_[n] >= 0) continue;
+            double dv = i_node[n] * dt_ps / cap_ff_[n] * 1e-3;
+            dv = std::clamp(dv, -clamp_v, clamp_v);
+            v[n] = std::clamp(v[n] + dv, -0.2, tech_.vdd + 0.2);
+        }
+    }
+    return out;
+}
+
+} // namespace flh

@@ -1,0 +1,124 @@
+// Transistor-level transient simulation ("uspice").
+//
+// Substitute for the paper's HSPICE + 70 nm BPTM experiments (Figs. 2 and 4):
+// a square-law MOSFET model with an exponential subthreshold region,
+// explicit node capacitances, piecewise-linear stimuli, and fixed-step
+// explicit integration with a per-step voltage clamp for stability.
+//
+// The model is deliberately simple — the phenomena the paper demonstrates
+// are first-order:
+//  * a supply-gated gate output *floats* and its charge leaks away through
+//    subthreshold conduction (Fig. 2's decay below 600 mV within ~100 ns);
+//  * the discharged intermediate level turns both devices of the next
+//    inverter partially on -> static short-circuit current (Idd2, Idd3);
+//  * a keeper (cross-coupled inverters behind a transmission gate) pins the
+//    node and the state holds indefinitely (Fig. 4).
+// Device parameters derive from the same Tech as the digital models, so the
+// digital calibration (e.g. Tech::i_off_na_per_um) is exercised here too.
+#pragma once
+
+#include "cell/tech.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flh {
+
+using NodeId = std::uint32_t;
+
+/// MOSFET parameters derived from Tech (per minimum-width unit).
+struct MosModel {
+    double vth = 0.2;          ///< threshold (V)
+    double k_ua_per_v2 = 260;  ///< transconductance per width unit (uA/V^2)
+    double lambda = 0.08;      ///< channel-length modulation (1/V)
+    double n_sub = 1.5;        ///< subthreshold slope factor
+    double i_off_na = 25.0;    ///< off current per width unit at Vgs=0 (nA)
+
+    /// Drain current (uA) for terminal voltages (V), width in units.
+    /// Positive current flows drain -> source for NMOS conduction.
+    [[nodiscard]] double currentUa(double vgs, double vds, double w_units) const;
+};
+
+/// NMOS/PMOS models for a Tech.
+[[nodiscard]] MosModel nmosModel(const Tech& t);
+[[nodiscard]] MosModel pmosModel(const Tech& t);
+
+/// Piecewise-constant stimulus: value of a source node over time.
+using Stimulus = std::function<double(double t_ps)>;
+
+class AnalogCircuit {
+public:
+    explicit AnalogCircuit(const Tech& tech);
+
+    [[nodiscard]] const Tech& tech() const noexcept { return tech_; }
+
+    /// Add a floating node with capacitance to ground (fF).
+    NodeId addNode(std::string name, double cap_ff);
+
+    /// Add a fixed-voltage source node (rails, driven inputs).
+    NodeId addSource(std::string name, Stimulus stimulus);
+    NodeId addRail(std::string name, double volts);
+
+    /// Extra capacitance on an existing node.
+    void addCap(NodeId node, double cap_ff);
+
+    /// Coupling capacitor between two nodes (crosstalk / charge-sharing
+    /// experiments, Section II: "the switching of input (IN) can couple to
+    /// OUT1 through the gate-to-drain capacitances").
+    void addCouplingCap(NodeId a, NodeId b, double cap_ff);
+
+    /// Add a MOSFET; returns a device index usable as a current probe.
+    std::size_t addMos(bool is_pmos, NodeId gate, NodeId source, NodeId drain, double w_units);
+
+    void setInitialVoltage(NodeId node, double volts);
+
+    [[nodiscard]] NodeId node(const std::string& name) const;
+    [[nodiscard]] std::size_t nodeCount() const noexcept { return names_.size(); }
+
+    struct Probe {
+        std::string label;
+        bool is_device = false; ///< false: node voltage (V); true: |device current| (uA)
+        std::uint32_t index = 0;
+    };
+
+    struct Transient {
+        std::vector<double> time_ps;
+        std::vector<std::string> labels;
+        std::vector<std::vector<double>> samples; ///< [probe][time]
+
+        [[nodiscard]] const std::vector<double>& trace(const std::string& label) const;
+    };
+
+    /// Run a transient: fixed step dt_ps, sampling every sample_every steps.
+    [[nodiscard]] Transient run(double t_end_ps, double dt_ps, const std::vector<Probe>& probes,
+                                int sample_every = 10);
+
+private:
+    struct Mos {
+        bool is_pmos;
+        NodeId gate, source, drain;
+        double w_units;
+    };
+
+    struct Coupling {
+        NodeId a, b;
+        double cap_ff;
+    };
+
+    [[nodiscard]] double deviceCurrentUa(const Mos& m, const std::vector<double>& v) const;
+
+    Tech tech_;
+    MosModel nmos_;
+    MosModel pmos_;
+    std::vector<std::string> names_;
+    std::vector<double> cap_ff_;
+    std::vector<double> init_v_;
+    std::vector<int> source_index_; ///< -1 for free nodes
+    std::vector<Stimulus> stimuli_;
+    std::vector<Mos> devices_;
+    std::vector<Coupling> couplings_;
+};
+
+} // namespace flh

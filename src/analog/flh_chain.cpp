@@ -1,0 +1,71 @@
+#include "analog/flh_chain.hpp"
+
+namespace flh {
+
+GatedChain buildGatedInverterChain(const Tech& tech, const ChainConfig& cfg, Stimulus in,
+                                   Stimulus sleep) {
+    GatedChain chain(tech);
+    AnalogCircuit& c = chain.ckt;
+
+    chain.vdd = c.addRail("VDD", tech.vdd);
+    chain.gnd = c.addRail("GND", 0.0);
+    chain.in = c.addSource("IN", std::move(in));
+    const NodeId sleep_n = c.addSource("SLEEP", sleep);
+    const NodeId sleep_b =
+        c.addSource("SLEEP_B", [sleep, vdd = tech.vdd](double t) { return vdd - sleep(t); });
+
+    const bool gated = cfg.sleep_w > 0.0;
+    NodeId vvdd = chain.vdd;
+    NodeId vgnd = chain.gnd;
+    if (gated) {
+        // Virtual rails behind the sleep pair (first stage only — FLH).
+        vvdd = c.addNode("VVDD", tech.diffCapFf(cfg.sleep_w + cfg.inv_wp));
+        vgnd = c.addNode("VGND", tech.diffCapFf(cfg.sleep_w + cfg.inv_wn));
+        c.setInitialVoltage(vvdd, tech.vdd);
+        c.setInitialVoltage(vgnd, 0.0);
+        // Header PMOS conducts when SLEEP=0; footer NMOS likewise.
+        c.addMos(true, sleep_n, chain.vdd, vvdd, cfg.sleep_w * tech.mobility_ratio);
+        c.addMos(false, sleep_b, chain.gnd, vgnd, cfg.sleep_w);
+    }
+
+    NodeId prev = chain.in;
+    for (int s = 0; s < cfg.stages; ++s) {
+        const std::string label = "OUT" + std::to_string(s + 1);
+        const double node_cap = tech.diffCapFf(cfg.inv_wp + cfg.inv_wn) +
+                                tech.gateCapFf(cfg.inv_wp + cfg.inv_wn) + cfg.stage_load_ff;
+        const NodeId out = c.addNode(label, node_cap);
+        const NodeId src_p = (s == 0) ? vvdd : chain.vdd;
+        const NodeId src_n = (s == 0) ? vgnd : chain.gnd;
+        const std::size_t p = c.addMos(true, prev, src_p, out, cfg.inv_wp);
+        c.addMos(false, prev, src_n, out, cfg.inv_wn);
+        chain.pmos_devs.push_back(p);
+        chain.outs.push_back(out);
+        // Consistent DC initial condition for IN = 0 at t = 0.
+        c.setInitialVoltage(out, (s % 2 == 0) ? tech.vdd : 0.0);
+        prev = out;
+    }
+
+    if (cfg.with_keeper && !chain.outs.empty()) {
+        const NodeId out1 = chain.outs[0];
+        const double kcap = tech.gateCapFf((1.0 + tech.mobility_ratio) * cfg.keeper_w) +
+                            tech.diffCapFf(cfg.keeper_w);
+        const NodeId k1 = c.addNode("K1", kcap);
+        const NodeId k2 = c.addNode("K2", kcap + tech.diffCapFf(2.0 * cfg.keeper_tg_w));
+        c.setInitialVoltage(k1, 0.0);
+        c.setInitialVoltage(k2, tech.vdd);
+        // INV1: OUT1 -> K1; INV2: K1 -> K2.
+        c.addMos(true, out1, chain.vdd, k1, cfg.keeper_w * tech.mobility_ratio);
+        c.addMos(false, out1, chain.gnd, k1, cfg.keeper_w);
+        c.addMos(true, k1, chain.vdd, k2, cfg.keeper_w * tech.mobility_ratio);
+        c.addMos(false, k1, chain.gnd, k2, cfg.keeper_w);
+        // Transmission gate K2 <-> OUT1, conducting in sleep mode
+        // (NMOS gate = SLEEP, PMOS gate = SLEEP_B): the keeper loop closes
+        // exactly when the supply gating floats the output.
+        c.addMos(false, sleep_n, k2, out1, cfg.keeper_tg_w);
+        c.addMos(true, sleep_b, k2, out1, cfg.keeper_tg_w);
+    }
+
+    return chain;
+}
+
+} // namespace flh

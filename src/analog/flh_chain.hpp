@@ -1,0 +1,43 @@
+// Circuit builders for the paper's transistor-level experiments.
+//
+// buildGatedInverterChain reproduces Fig. 2 (supply gating applied to the
+// first stage of an inverter chain) and, with `with_keeper`, Fig. 3's FLH
+// scheme (cross-coupled keeper inverters behind a transmission gate enabled
+// in sleep mode). The bench binaries fig2_float_decay and fig4_flh_hold
+// drive these circuits with the paper's stimulus.
+#pragma once
+
+#include "analog/analog.hpp"
+
+namespace flh {
+
+struct ChainConfig {
+    int stages = 3;
+    double inv_wp = 2.0;      ///< stage inverter PMOS width (units)
+    double inv_wn = 1.0;      ///< stage inverter NMOS width
+    double sleep_w = 2.0;     ///< sleep pair width; 0 disables gating
+    bool with_keeper = false; ///< attach the FLH keeper to OUT1
+    double keeper_w = 0.75;
+    double keeper_tg_w = 0.5;
+    double stage_load_ff = 1.5; ///< extra wire/fanout load per stage output
+};
+
+/// The built chain plus handles for probing.
+struct GatedChain {
+    AnalogCircuit ckt;
+    NodeId vdd = 0;
+    NodeId gnd = 0;
+    NodeId in = 0;
+    std::vector<NodeId> outs;           ///< OUT1..OUTn
+    std::vector<std::size_t> pmos_devs; ///< per stage, for Idd probes
+
+    explicit GatedChain(const Tech& t) : ckt(t) {}
+};
+
+/// Build the chain. `in` and `sleep` are stimuli; sleep = 1 means gated
+/// (the paper's SLEEP / test-control low phase). The keeper enable follows
+/// the sleep signal, exactly as FLH ties it to the existing TC signal.
+[[nodiscard]] GatedChain buildGatedInverterChain(const Tech& tech, const ChainConfig& cfg,
+                                                 Stimulus in, Stimulus sleep);
+
+} // namespace flh

@@ -1,0 +1,64 @@
+#include "atpg/compaction.hpp"
+
+#include <algorithm>
+
+namespace flh {
+
+namespace {
+
+/// Shared reverse-order greedy pass.
+template <typename Test, typename DetectFn>
+CompactionStats compact(std::vector<Test>& tests, std::size_t n_faults, DetectFn detects_new) {
+    CompactionStats stats;
+    stats.before = tests.size();
+    std::vector<bool> covered(n_faults, false);
+    std::vector<bool> keep(tests.size(), false);
+    for (std::size_t i = tests.size(); i-- > 0;) {
+        if (detects_new(tests[i], covered)) keep[i] = true;
+    }
+    std::vector<Test> kept;
+    kept.reserve(tests.size());
+    for (std::size_t i = 0; i < tests.size(); ++i)
+        if (keep[i]) kept.push_back(std::move(tests[i]));
+    tests = std::move(kept);
+    stats.after = tests.size();
+    for (const bool c : covered)
+        if (c) ++stats.detected;
+    return stats;
+}
+
+} // namespace
+
+CompactionStats compactStuckAtTests(const Netlist& nl, std::vector<Pattern>& patterns,
+                                    std::span<const FaultSite> faults) {
+    return compact(patterns, faults.size(), [&](const Pattern& p, std::vector<bool>& covered) {
+        const Pattern one[1] = {p};
+        const FaultSimResult r = runStuckAtFaultSim(nl, one, faults);
+        bool fresh = false;
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+            if (r.detected_mask[f] && !covered[f]) {
+                covered[f] = true;
+                fresh = true;
+            }
+        }
+        return fresh;
+    });
+}
+
+CompactionStats compactTransitionTests(const Netlist& nl, std::vector<TwoPattern>& tests,
+                                       std::span<const TransitionFault> faults) {
+    return compact(tests, faults.size(), [&](const TwoPattern& t, std::vector<bool>& covered) {
+        const TwoPattern one[1] = {t};
+        const FaultSimResult r = runTransitionFaultSim(nl, one, faults);
+        bool fresh = false;
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+            if (r.detected_mask[f] && !covered[f]) {
+                covered[f] = true;
+                fresh = true;
+            }
+        }
+        return fresh;
+    });
+}
+
+} // namespace flh

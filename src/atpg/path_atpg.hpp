@@ -1,0 +1,44 @@
+// Path-delay test generation (non-robust sensitization) for the three
+// application styles.
+//
+// V2 must statically sensitize the entire path and set its input to the
+// post-transition value; V1 sets the path input to the opposite value.
+// With FLH (enhanced-scan application) the two justifications are
+// independent; skewed-load and broadside inherit their structural V1
+// constraints, which is why critical-path delay testing motivates the
+// paper's arbitrary-pair capability.
+#pragma once
+
+#include "atpg/podem.hpp"
+#include "fault/path_delay.hpp"
+
+namespace flh {
+
+struct PathAtpgConfig {
+    PodemConfig podem{};
+    int justify_retries = 2;
+    std::uint64_t seed = 13;
+};
+
+struct PathAtpgResult {
+    std::size_t attempted = 0;
+    std::size_t tested = 0;            ///< tests generated and validated
+    std::size_t unsensitizable = 0;    ///< no static sensitization exists
+    std::size_t infeasible = 0;        ///< constraints proven unsatisfiable (false path)
+    std::size_t aborted = 0;           ///< backtrack budget exhausted
+    std::size_t justify_failed = 0;    ///< V1-side / validation failures
+    std::vector<std::pair<PathDelayFault, TwoPattern>> tests;
+
+    [[nodiscard]] double coveragePct() const noexcept {
+        return attempted ? 100.0 * static_cast<double>(tested) / static_cast<double>(attempted)
+                         : 0.0;
+    }
+};
+
+/// Generate two-pattern tests for both polarities of each path.
+[[nodiscard]] PathAtpgResult generatePathDelayTests(const Netlist& nl,
+                                                    std::span<const DelayPath> paths,
+                                                    TestApplication style,
+                                                    const PathAtpgConfig& cfg = {});
+
+} // namespace flh

@@ -1,0 +1,266 @@
+#include "atpg/podem.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flh {
+
+Podem::Podem(const Netlist& nl, PodemConfig cfg) : nl_(&nl), cfg_(cfg), sim_(nl), fsim_(nl) {
+    for (const NetId pi : nl.pis()) sources_.push_back(pi);
+    for (const GateId ff : nl.flipFlops()) sources_.push_back(nl.gate(ff).output);
+    frozen_.assign(nl.netCount(), Logic::X);
+    assigned_.assign(nl.netCount(), Logic::X);
+}
+
+void Podem::freeze(NetId net, Logic value) {
+    if (!isSource(net)) throw std::invalid_argument("freeze: not a source net");
+    frozen_.at(net) = value;
+}
+
+void Podem::clearFrozen() { frozen_.assign(nl_->netCount(), Logic::X); }
+
+bool Podem::isSource(NetId n) const {
+    const Net& net = nl_->net(n);
+    return net.is_pi || (net.driver != kInvalidId && isSequential(nl_->gate(net.driver).fn));
+}
+
+void Podem::resetState() {
+    sim_.reset();
+    fsim_.reset();
+    assigned_.assign(nl_->netCount(), Logic::X);
+    stack_.clear();
+    backtracks_ = 0;
+    if (fault_active_) fsim_.injectFault(fault_);
+    for (const NetId s : sources_) {
+        if (frozen_[s] != Logic::X) {
+            assigned_[s] = frozen_[s];
+            sim_.setNet(s, PV::all(frozen_[s]));
+            fsim_.setNet(s, PV::all(frozen_[s]));
+        }
+    }
+    sim_.propagate();
+    fsim_.propagate();
+}
+
+void Podem::assignSource(NetId source, Logic v) {
+    assigned_[source] = v;
+    sim_.setNet(source, PV::all(v));
+    fsim_.setNet(source, PV::all(v));
+    sim_.propagate();
+    fsim_.propagate();
+}
+
+Logic Podem::goodValue(NetId n) const { return sim_.get(n).get(0); }
+Logic Podem::faultyValue(NetId n) const { return fsim_.get(n).get(0); }
+
+bool Podem::hasD(NetId n) const {
+    const Logic g = goodValue(n);
+    const Logic f = faultyValue(n);
+    return g != Logic::X && f != Logic::X && g != f;
+}
+
+std::optional<std::pair<NetId, Logic>> Podem::backtrace(NetId net, Logic v) {
+    // Walk toward the sources on the good machine, at each gate choosing an
+    // unassigned input whose value can still produce the objective. The
+    // choice only steers the search — a poor pick is corrected by
+    // backtracking, so the generic rule is sound for every cell function.
+    for (int guard = 0; guard < static_cast<int>(nl_->netCount()) + 8; ++guard) {
+        if (isSource(net)) {
+            if (assigned_[net] != Logic::X || frozen_[net] != Logic::X) return std::nullopt;
+            return std::make_pair(net, v);
+        }
+        const GateId g = nl_->net(net).driver;
+        if (g == kInvalidId) return std::nullopt;
+        const Gate& gate = nl_->gate(g);
+
+        const auto evalWith = [&](std::size_t pin, Logic b) {
+            Logic ins[8];
+            for (std::size_t p = 0; p < gate.inputs.size(); ++p)
+                ins[p] = (p == pin) ? b : goodValue(gate.inputs[p]);
+            return evalCellScalar(gate.fn, {ins, gate.inputs.size()});
+        };
+
+        std::optional<std::pair<std::size_t, Logic>> forcing;
+        std::optional<std::pair<std::size_t, Logic>> possible;
+        for (std::size_t p = 0; p < gate.inputs.size() && !forcing; ++p) {
+            if (goodValue(gate.inputs[p]) != Logic::X) continue;
+            for (const Logic b : {Logic::Zero, Logic::One}) {
+                const Logic r = evalWith(p, b);
+                if (r == v) {
+                    forcing = {p, b};
+                    break;
+                }
+                if (r == Logic::X && !possible) possible = {p, b};
+            }
+        }
+        const auto choice = forcing ? forcing : possible;
+        if (!choice) return std::nullopt;
+        net = gate.inputs[choice->first];
+        v = choice->second;
+    }
+    return std::nullopt;
+}
+
+std::vector<GateId> Podem::dFrontier() const {
+    std::vector<GateId> out;
+    for (const GateId g : nl_->topoOrder()) {
+        const Gate& gate = nl_->gate(g);
+        if (goodValue(gate.output) != Logic::X && faultyValue(gate.output) != Logic::X &&
+            goodValue(gate.output) == faultyValue(gate.output))
+            continue;
+        if (hasD(gate.output)) continue; // already propagated past this gate
+        bool d_in = false;
+        for (const NetId in : gate.inputs)
+            if (hasD(in)) {
+                d_in = true;
+                break;
+            }
+        // A pin fault creates its difference *inside* the receiving gate:
+        // the input net itself never carries D.
+        if (!d_in && fault_active_ && fault_.isPinFault() && fault_.gate == g &&
+            goodValue(fault_.net) != Logic::X)
+            d_in = true;
+        if (d_in) out.push_back(g);
+    }
+    return out;
+}
+
+bool Podem::faultObserved() const {
+    for (const NetId po : nl_->pos())
+        if (hasD(po)) return true;
+    for (const GateId ff : nl_->flipFlops())
+        if (hasD(nl_->gate(ff).inputs[0])) return true;
+    return false;
+}
+
+Pattern Podem::extractPattern() const {
+    Pattern p;
+    p.pis.reserve(nl_->pis().size());
+    p.state.reserve(nl_->flipFlops().size());
+    for (const NetId pi : nl_->pis()) p.pis.push_back(assigned_[pi]);
+    for (const GateId ff : nl_->flipFlops()) p.state.push_back(assigned_[nl_->gate(ff).output]);
+    return p;
+}
+
+template <typename GoalFn, typename ObjectiveFn>
+PodemOutcome Podem::decisionLoop(GoalFn goal, ObjectiveFn next_objective, Pattern& out) {
+    const auto unassign = [&](NetId s) {
+        assigned_[s] = Logic::X;
+        sim_.setNet(s, PV::all(Logic::X));
+        fsim_.setNet(s, PV::all(Logic::X));
+        sim_.propagate();
+        fsim_.propagate();
+    };
+    const auto backtrack = [&]() -> bool {
+        ++backtracks_;
+        while (!stack_.empty()) {
+            Decision& d = stack_.back();
+            if (!d.tried_both) {
+                d.tried_both = true;
+                d.value = negate(d.value);
+                assignSource(d.source, d.value);
+                return true;
+            }
+            unassign(d.source);
+            stack_.pop_back();
+        }
+        return false;
+    };
+
+    for (;;) {
+        if (backtracks_ > static_cast<std::size_t>(cfg_.max_backtracks))
+            return PodemOutcome::Aborted;
+
+        const int state = goal();
+        if (state > 0) {
+            out = extractPattern();
+            return PodemOutcome::Success;
+        }
+        bool dead = state < 0;
+
+        std::optional<std::pair<NetId, Logic>> assign;
+        if (!dead) {
+            const auto obj = next_objective();
+            if (!obj) {
+                dead = true;
+            } else {
+                assign = backtrace(obj->first, obj->second);
+                if (!assign) dead = true;
+            }
+        }
+        if (dead) {
+            if (!backtrack()) return PodemOutcome::Untestable;
+            continue;
+        }
+        stack_.push_back(Decision{assign->first, assign->second, false});
+        assignSource(assign->first, assign->second);
+    }
+}
+
+PodemOutcome Podem::generate(const FaultSite& fault, Pattern& out) {
+    fault_active_ = true;
+    fault_ = fault;
+    resetState();
+
+    const Logic activate = fault.stuck_at_one ? Logic::Zero : Logic::One;
+
+    const auto goal = [&]() -> int {
+        if (faultObserved()) return 1;
+        const Logic site = goodValue(fault.net);
+        if (site != Logic::X && site != activate) return -1; // cannot activate
+        return 0;
+    };
+    const auto next_objective = [&]() -> std::optional<std::pair<NetId, Logic>> {
+        // 1) Activate the fault.
+        if (goodValue(fault.net) == Logic::X) return std::make_pair(fault.net, activate);
+        // 2) Advance the D-frontier: set an X input of a frontier gate to
+        //    its non-controlling-ish value (backtrace fixes bad guesses).
+        const auto frontier = dFrontier();
+        for (const GateId g : frontier) {
+            const Gate& gate = nl_->gate(g);
+            for (const NetId in : gate.inputs) {
+                if (goodValue(in) != Logic::X) continue;
+                const Logic nc = (gate.fn == CellFn::And || gate.fn == CellFn::Nand)
+                                     ? Logic::One
+                                     : Logic::Zero;
+                return std::make_pair(in, nc);
+            }
+        }
+        return std::nullopt; // frontier empty or saturated
+    };
+
+    const PodemOutcome r = decisionLoop(goal, next_objective, out);
+    fault_active_ = false;
+    return r;
+}
+
+PodemOutcome Podem::justify(NetId net, Logic value, Pattern& out) {
+    return justifyAll({{net, value}}, out);
+}
+
+PodemOutcome Podem::justifyAll(const std::vector<std::pair<NetId, Logic>>& objectives,
+                               Pattern& out) {
+    fault_active_ = false;
+    resetState();
+
+    const auto goal = [&]() -> int {
+        bool all = true;
+        for (const auto& [net, v] : objectives) {
+            const Logic cur = goodValue(net);
+            if (cur == Logic::X) {
+                all = false;
+            } else if (cur != v) {
+                return -1;
+            }
+        }
+        return all ? 1 : 0;
+    };
+    const auto next_objective = [&]() -> std::optional<std::pair<NetId, Logic>> {
+        for (const auto& [net, v] : objectives)
+            if (goodValue(net) == Logic::X) return std::make_pair(net, v);
+        return std::nullopt;
+    };
+    return decisionLoop(goal, next_objective, out);
+}
+
+} // namespace flh

@@ -1,0 +1,97 @@
+// PODEM (Path-Oriented DEcision Making) test generation.
+//
+// Combinational, over the full-scan view: the controllable sources are the
+// primary inputs and the flip-flop outputs (scan state); the observation
+// points are the primary outputs and the flip-flop D inputs.
+//
+// The implementation runs good and faulty machines side by side in two
+// pattern slots of the event-driven simulator, which gives the classical
+// D-algebra for free: a net carries "D" when the two slots hold definite,
+// different values. Backtracing uses a generic gate-agnostic objective rule
+// (try each unassigned input with each value; prefer the one that forces the
+// objective), so complex cells (AOI/OAI/MUX) need no special cases.
+//
+// Sources can be frozen to fixed values before generation — that is how the
+// skewed-load ATPG constrains V1's state to be the shifted V2 state, and how
+// broadside justification pins the required next-state bits.
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace flh {
+
+struct PodemConfig {
+    int max_backtracks = 300;
+    std::uint64_t seed = 1; ///< decision-ordering randomization
+};
+
+/// Outcome classification for one generation attempt.
+enum class PodemOutcome : std::uint8_t { Success, Untestable, Aborted };
+
+class Podem {
+public:
+    explicit Podem(const Netlist& nl, PodemConfig cfg = {});
+
+    /// Freeze a source (PI or FF output) net to a value for all subsequent
+    /// calls; pass Logic::X to unfreeze. Throws if `net` is not a source.
+    void freeze(NetId net, Logic value);
+    void clearFrozen();
+
+    /// Generate a pattern detecting `fault`. On success the pattern has
+    /// Logic::X in positions PODEM never needed (caller random-fills).
+    PodemOutcome generate(const FaultSite& fault, Pattern& out);
+
+    /// Justify `value` on `net` (no fault, no propagation requirement).
+    PodemOutcome justify(NetId net, Logic value, Pattern& out);
+
+    /// Justify several (net, value) requirements simultaneously.
+    PodemOutcome justifyAll(const std::vector<std::pair<NetId, Logic>>& objectives, Pattern& out);
+
+    [[nodiscard]] std::size_t backtracksUsed() const noexcept { return backtracks_; }
+
+private:
+    struct Decision {
+        NetId source;
+        Logic value;
+        bool tried_both;
+    };
+
+    void resetState();
+    void assignSource(NetId source, Logic v);
+    [[nodiscard]] Logic goodValue(NetId n) const;
+    [[nodiscard]] Logic faultyValue(NetId n) const;
+    [[nodiscard]] bool hasD(NetId n) const;
+    [[nodiscard]] bool isSource(NetId n) const;
+
+    /// Walk an objective back to an unassigned, unfrozen source.
+    [[nodiscard]] std::optional<std::pair<NetId, Logic>> backtrace(NetId net, Logic v);
+
+    /// Gates with D on an input and X on the output.
+    [[nodiscard]] std::vector<GateId> dFrontier() const;
+
+    /// True if some observation point carries D.
+    [[nodiscard]] bool faultObserved() const;
+
+    /// Shared decision loop; `goal` returns +1 done, 0 keep going, -1 dead end.
+    template <typename GoalFn, typename ObjectiveFn>
+    PodemOutcome decisionLoop(GoalFn goal, ObjectiveFn next_objective, Pattern& out);
+
+    Pattern extractPattern() const;
+
+    const Netlist* nl_;
+    PodemConfig cfg_;
+    PatternSim sim_;  ///< good machine
+    PatternSim fsim_; ///< faulty machine (fault injected during generate)
+    std::vector<NetId> sources_;
+    std::vector<Logic> frozen_;   ///< per net (X = not frozen)
+    std::vector<Logic> assigned_; ///< per net (X = unassigned), sources only
+    std::vector<Decision> stack_;
+    std::size_t backtracks_ = 0;
+    bool fault_active_ = false;
+    FaultSite fault_{};
+};
+
+} // namespace flh

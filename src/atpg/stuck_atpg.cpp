@@ -1,0 +1,53 @@
+#include "atpg/stuck_atpg.hpp"
+
+namespace flh {
+
+void fillRandom(Pattern& p, Rng& rng) {
+    for (Logic& b : p.pis)
+        if (b == Logic::X) b = rng.chance(0.5) ? Logic::One : Logic::Zero;
+    for (Logic& b : p.state)
+        if (b == Logic::X) b = rng.chance(0.5) ? Logic::One : Logic::Zero;
+}
+
+StuckAtpgResult generateStuckAtTests(const Netlist& nl, std::span<const FaultSite> faults,
+                                     const StuckAtpgConfig& cfg) {
+    StuckAtpgResult res;
+    Rng rng(cfg.seed);
+
+    // Phase 1: random patterns with fault dropping.
+    res.patterns = randomPatterns(nl, static_cast<std::size_t>(cfg.random_patterns), rng.next());
+    res.coverage = runStuckAtFaultSim(nl, res.patterns, faults);
+
+    // Phase 2: deterministic top-off for survivors.
+    Podem podem(nl, cfg.podem);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (res.coverage.detected_mask[fi]) continue;
+        Pattern p;
+        switch (podem.generate(faults[fi], p)) {
+            case PodemOutcome::Success: {
+                fillRandom(p, rng);
+                // Drop every remaining fault this pattern also catches.
+                const Pattern one[1] = {p};
+                const FaultSimResult hit = runStuckAtFaultSim(nl, one, faults);
+                for (std::size_t fj = 0; fj < faults.size(); ++fj) {
+                    if (hit.detected_mask[fj] && !res.coverage.detected_mask[fj]) {
+                        res.coverage.detected_mask[fj] = true;
+                        ++res.coverage.detected;
+                    }
+                }
+                res.patterns.push_back(std::move(p));
+                ++res.podem_generated;
+                break;
+            }
+            case PodemOutcome::Aborted:
+                ++res.aborted;
+                break;
+            case PodemOutcome::Untestable:
+                ++res.untestable;
+                break;
+        }
+    }
+    return res;
+}
+
+} // namespace flh

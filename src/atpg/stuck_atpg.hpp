@@ -1,0 +1,33 @@
+// Stuck-at test generation: random-pattern phase with fault dropping,
+// followed by deterministic PODEM top-off.
+#pragma once
+
+#include "atpg/podem.hpp"
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace flh {
+
+struct StuckAtpgConfig {
+    int random_patterns = 128;
+    PodemConfig podem{};
+    std::uint64_t seed = 7;
+};
+
+struct StuckAtpgResult {
+    std::vector<Pattern> patterns; ///< fully specified (X random-filled)
+    FaultSimResult coverage;       ///< over the given fault list
+    std::size_t podem_generated = 0;
+    std::size_t aborted = 0;
+    std::size_t untestable = 0;
+};
+
+/// Random-fill every X in a pattern (seeded).
+void fillRandom(Pattern& p, Rng& rng);
+
+[[nodiscard]] StuckAtpgResult generateStuckAtTests(const Netlist& nl,
+                                                   std::span<const FaultSite> faults,
+                                                   const StuckAtpgConfig& cfg = {});
+
+} // namespace flh

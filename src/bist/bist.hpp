@@ -1,0 +1,60 @@
+// Test-per-scan BIST with FLH holding (Section IV).
+//
+// A test-per-scan session: the LFSR shifts a pseudo-random pattern into the
+// scan chain (and serially into the primary inputs, as the paper suggests:
+// "if test patterns are applied to the primary inputs serially, as in the
+// scan chain, FLH ... can be equally used to the fanout logic gates for the
+// primary inputs"), the response is captured, and the capture is compacted
+// into the MISR while the next pattern shifts in.
+//
+// Delay BIST: FLH's arbitrary-pair capability means consecutive LFSR loads
+// (V1, V2) form an *unconstrained* two-pattern test — plain scan BIST only
+// gets launch-on-shift pairs (V2 = one extra shift of V1). bistDelayCoverage
+// quantifies the difference.
+#pragma once
+
+#include "bist/lfsr.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/sequential.hpp"
+
+#include <optional>
+
+namespace flh {
+
+struct BistConfig {
+    int n_patterns = 64;
+    int lfsr_width = 20;
+    std::uint32_t lfsr_seed = 0xACE1;
+    double one_density = 0.5; ///< weighted-random 1-density
+    HoldStyle style = HoldStyle::Flh;
+};
+
+struct BistResult {
+    std::uint32_t signature = 0;
+    std::size_t patterns_applied = 0;
+    std::uint64_t comb_shift_toggles = 0; ///< redundant switching during shifts
+    double stuck_at_coverage_pct = 0.0;   ///< of the collapsed fault list
+};
+
+/// Run a stuck-at test-per-scan BIST session on the good machine (and
+/// measure the coverage of the generated patterns by fault simulation).
+[[nodiscard]] BistResult runBist(const Netlist& nl, const BistConfig& cfg = {});
+
+/// Golden-signature fault detection: run the (short) BIST session on the
+/// machine with `fault` injected; returns true if the signature differs
+/// from the good one.
+[[nodiscard]] bool bistDetects(const Netlist& nl, const BistConfig& cfg, const FaultSite& fault,
+                               std::uint32_t golden);
+
+/// The pseudo-random pattern sequence a BIST session applies (for external
+/// fault simulation / coverage studies).
+[[nodiscard]] std::vector<Pattern> bistPatterns(const Netlist& nl, const BistConfig& cfg);
+
+/// Delay (transition-fault) coverage of a BIST session under an application
+/// style: EnhancedScan treats consecutive loads as arbitrary pairs (what
+/// FLH's hold enables); SkewedLoad derives V2 from one extra shift;
+/// Broadside derives V2 from the functional response.
+[[nodiscard]] FaultSimResult bistDelayCoverage(const Netlist& nl, const BistConfig& cfg,
+                                               TestApplication style);
+
+} // namespace flh

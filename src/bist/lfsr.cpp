@@ -1,0 +1,94 @@
+#include "bist/lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace flh {
+
+std::uint32_t primitiveTaps(int width) {
+    // Tap masks of primitive polynomials (bit i set = stage i+1 feeds the
+    // XOR), standard tables.
+    switch (width) {
+        case 3: return 0b110;
+        case 4: return 0b1100;
+        case 5: return 0b10100;
+        case 6: return 0b110000;
+        case 7: return 0b1100000;
+        case 8: return 0b10111000;
+        case 9: return 0b100010000;
+        case 10: return 0b1001000000;
+        case 11: return 0b10100000000;
+        case 12: return 0b111000001000;
+        case 13: return 0b1110010000000;
+        case 14: return 0b11100000000010;
+        case 15: return 0b110000000000000;
+        case 16: return 0b1101000000001000;
+        case 17: return 0x12000;
+        case 18: return 0x20400;
+        case 19: return 0x72000;
+        case 20: return 0x90000;
+        case 21: return 0x140000;
+        case 22: return 0x300000;
+        case 23: return 0x420000;
+        case 24: return 0xE10000;
+        case 25: return 0x1200000;
+        case 26: return 0x2000023;
+        case 27: return 0x4000013;
+        case 28: return 0x9000000;
+        case 29: return 0x14000000;
+        case 30: return 0x20000029;
+        case 31: return 0x48000000;
+        case 32: return 0x80200003;
+        default: throw std::invalid_argument("unsupported LFSR width");
+    }
+}
+
+Lfsr::Lfsr(int width, std::uint32_t seed) : width_(width), taps_(primitiveTaps(width)) {
+    const std::uint32_t mask = width == 32 ? ~0u : ((1u << width) - 1);
+    state_ = seed & mask;
+    if (state_ == 0) state_ = 1;
+}
+
+bool Lfsr::step() {
+    // Galois (right-shift) form: the tap mask is XORed in when the output
+    // stage carries a 1.
+    const bool out = (state_ & 1u) != 0;
+    state_ >>= 1;
+    if (out) state_ ^= taps_;
+    return out;
+}
+
+bool Lfsr::stepWeighted(double one_density) {
+    if (one_density >= 0.5 - 1e-12 && one_density <= 0.5 + 1e-12) return step();
+    if (one_density < 0.5) {
+        // AND of k bits: density 2^-k.
+        int k = 1;
+        double d = 0.5;
+        while (d > one_density && k < 5) {
+            d *= 0.5;
+            ++k;
+        }
+        bool v = true;
+        for (int i = 0; i < k; ++i) v = v && step();
+        return v;
+    }
+    // OR of k bits: density 1 - 2^-k.
+    int k = 1;
+    double d = 0.5;
+    while (1.0 - d < one_density && k < 5) {
+        d *= 0.5;
+        ++k;
+    }
+    bool v = false;
+    for (int i = 0; i < k; ++i) v = v || step();
+    return v;
+}
+
+void Misr::absorb(std::uint32_t word) {
+    const bool msb = (state_ & 0x80000000u) != 0;
+    state_ <<= 1;
+    if (msb) state_ ^= 0x04C11DB7u; // CRC-32 polynomial
+    state_ ^= word;
+}
+
+} // namespace flh

@@ -1,0 +1,63 @@
+// LFSR pattern generation and MISR response compaction for BIST.
+//
+// Section IV: "The proposed technique can be easily applied to scan-based
+// test-per-scan BIST circuits. A circuit designed with BIST has weighted
+// random pattern generator and output response analyzer built into the
+// circuit." This module provides both halves:
+//  * Lfsr      — maximal-length Fibonacci LFSR (widths 3..32) with an
+//                optional weighting layer (AND-ing taps biases 1-density);
+//  * Misr      — multiple-input signature register compacting one
+//                observation word per cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flh {
+
+/// Maximal-length Fibonacci LFSR.
+class Lfsr {
+public:
+    /// width in [3, 32]; seed must be non-zero (forced to 1 otherwise).
+    Lfsr(int width, std::uint32_t seed);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+    /// Advance one step; returns the output bit (the stage shifted out).
+    bool step();
+
+    /// Next pseudo-random bit with P(1) ~= one_density (weighted generator):
+    /// AND of k raw bits gives density 2^-k; OR raises it symmetrically.
+    bool stepWeighted(double one_density);
+
+    /// Period of the maximal-length sequence (2^width - 1).
+    [[nodiscard]] std::uint64_t period() const noexcept {
+        return (1ULL << width_) - 1;
+    }
+
+private:
+    int width_;
+    std::uint32_t state_;
+    std::uint32_t taps_;
+};
+
+/// Characteristic tap mask (primitive polynomial) for a width; throws for
+/// unsupported widths.
+[[nodiscard]] std::uint32_t primitiveTaps(int width);
+
+/// Multiple-input signature register (Galois form, 32 bits).
+class Misr {
+public:
+    explicit Misr(std::uint32_t seed = 0xDEADBEEF) : state_(seed) {}
+
+    /// Compact one observation word.
+    void absorb(std::uint32_t word);
+
+    [[nodiscard]] std::uint32_t signature() const noexcept { return state_; }
+
+private:
+    std::uint32_t state_;
+};
+
+} // namespace flh

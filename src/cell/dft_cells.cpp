@@ -1,0 +1,137 @@
+#include "cell/dft_cells.hpp"
+
+namespace flh {
+
+namespace {
+// Width of a complementary inverter of NMOS width w (PMOS mobility-sized).
+double invWidth(const Tech& t, double w) noexcept { return w * (1.0 + t.mobility_ratio); }
+} // namespace
+
+// ----------------------------------------------------------------- HoldLatch
+
+double HoldLatchSpec::totalWidthUnits(const Tech& t) const noexcept {
+    return 2.0 * tg_w                 // input TG
+           + invWidth(t, fwd_drive)   // forward inverter
+           + invWidth(t, keeper_w)    // feedback inverter
+           + 2.0 * keeper_w           // feedback TG
+           + 2.0 * invWidth(t, clkbuf_w); // HOLD / HOLD_B local buffers
+}
+
+double HoldLatchSpec::areaUm2(const Tech& t) const noexcept {
+    return totalWidthUnits(t) * t.minDeviceAreaUm2();
+}
+
+double HoldLatchSpec::inputCapFf(const Tech& t) const noexcept {
+    // The scan-FF output sees the input TG diffusion (source side).
+    return t.diffCapFf(2.0 * tg_w);
+}
+
+double HoldLatchSpec::seriesDelayPs(const Tech& t, double load_ff) const noexcept {
+    // TG pass + forward inverter drive.
+    const double r_tg = t.r_on_n_kohm / tg_w;
+    const double c_mid = t.gateCapFf(invWidth(t, fwd_drive)) + t.diffCapFf(2.0 * tg_w + keeper_w);
+    const double r_inv = t.r_on_n_kohm / fwd_drive;
+    const double c_out = load_ff + t.diffCapFf(invWidth(t, fwd_drive));
+    return r_tg * c_mid + r_inv * c_out;
+}
+
+double HoldLatchSpec::switchedCapFf(const Tech& t) const noexcept {
+    // Per input toggle (transparent mode) the internal latch node and the
+    // feedback inverter input both swing; the output node itself is counted
+    // by the caller as net capacitance. The input TG additionally has to
+    // overpower the enabled feedback keeper on every transition — a ratioed
+    // fight whose crowbar charge is modelled as an equivalent switched cap.
+    return t.gateCapFf(invWidth(t, fwd_drive) + invWidth(t, keeper_w)) +
+           t.diffCapFf(2.0 * tg_w + 2.0 * keeper_w) +
+           2.0 * t.gateCapFf(invWidth(t, keeper_w));
+}
+
+double HoldLatchSpec::leakageNw(const Tech& t) const noexcept {
+    return t.offCurrentNa(0.5 * totalWidthUnits(t)) * t.vdd * t.hvt_leak_factor;
+}
+
+// ------------------------------------------------------------------- MuxHold
+
+double MuxHoldSpec::totalWidthUnits(const Tech& t) const noexcept {
+    return 2.0 * 2.0 * tg_w            // two TGs
+           + invWidth(t, sel_inv_w)    // select inverter
+           + invWidth(t, out_drive)    // restoring inverter
+           + invWidth(t, out_drive)    // output drive inverter
+           + invWidth(t, fb_buf_w);    // feedback buffer
+}
+
+double MuxHoldSpec::areaUm2(const Tech& t) const noexcept {
+    return totalWidthUnits(t) * t.minDeviceAreaUm2();
+}
+
+double MuxHoldSpec::inputCapFf(const Tech& t) const noexcept {
+    return t.diffCapFf(2.0 * tg_w);
+}
+
+double MuxHoldSpec::seriesDelayPs(const Tech& t, double load_ff) const noexcept {
+    // TG pass + restoring inverter + output drive inverter: one stage more
+    // than the hold latch, hence the paper's "MUX-based method shows the
+    // largest increase" in delay.
+    const double r_tg = t.r_on_n_kohm / tg_w;
+    const double c_mid1 = t.gateCapFf(invWidth(t, out_drive)) + t.diffCapFf(4.0 * tg_w);
+    const double r_inv = t.r_on_n_kohm / out_drive;
+    const double c_mid2 = t.gateCapFf(invWidth(t, out_drive)) + t.diffCapFf(invWidth(t, out_drive));
+    const double c_out = load_ff + t.diffCapFf(invWidth(t, out_drive));
+    return r_tg * c_mid1 + r_inv * c_mid2 + r_inv * c_out;
+}
+
+double MuxHoldSpec::switchedCapFf(const Tech& t) const noexcept {
+    return t.gateCapFf(invWidth(t, out_drive) * 2.0) + t.diffCapFf(4.0 * tg_w + invWidth(t, fb_buf_w));
+}
+
+double MuxHoldSpec::leakageNw(const Tech& t) const noexcept {
+    return t.offCurrentNa(0.5 * totalWidthUnits(t)) * t.vdd * t.hvt_leak_factor;
+}
+
+// ----------------------------------------------------------------- FlhGating
+
+double FlhGatingSpec::totalWidthUnits(const Tech& t, double drive_units) const noexcept {
+    return sleep_w * drive_units * (1.0 + t.mobility_ratio) // PMOS header + NMOS footer
+           + 2.0 * invWidth(t, keeper_w)                    // INV1, INV2
+           + 2.0 * tg_w;                                    // keeper TG
+}
+
+double FlhGatingSpec::areaUm2(const Tech& t, double drive_units) const noexcept {
+    return totalWidthUnits(t, drive_units) * t.minDeviceAreaUm2();
+}
+
+double FlhGatingSpec::seriesResistanceKohm(double r_out_kohm) const noexcept {
+    return r_out_kohm / sleep_w;
+}
+
+double FlhGatingSpec::addedDelayPs(const Tech& t, double r_out_kohm,
+                                   double load_ff) const noexcept {
+    return t.virtual_rail_factor * seriesResistanceKohm(r_out_kohm) *
+           (load_ff + outputLoadFf(t));
+}
+
+double FlhGatingSpec::outputLoadFf(const Tech& t) const noexcept {
+    return t.gateCapFf(invWidth(t, keeper_w)) + t.diffCapFf(2.0 * tg_w);
+}
+
+double FlhGatingSpec::switchedCapFf(const Tech& t) const noexcept {
+    return t.gateCapFf(invWidth(t, keeper_w)) + t.diffCapFf(invWidth(t, keeper_w));
+}
+
+double FlhGatingSpec::addedLeakageNw(const Tech& t) const noexcept {
+    // Only the keeper devices add leakage paths of their own; the sleep pair
+    // is ON in normal mode (its effect is the activeLeakFactor applied to
+    // the gated gate), and the keeper is built high-Vt.
+    const double keeper_units = 2.0 * invWidth(t, keeper_w) + 2.0 * tg_w;
+    return t.offCurrentNa(0.5 * keeper_units) * t.vdd * t.hvt_leak_factor;
+}
+
+double FlhGatingSpec::activeLeakFactor(const Tech& t) const noexcept {
+    return t.stack_factor_active;
+}
+
+double FlhGatingSpec::sleepLeakFactor(const Tech& t) const noexcept {
+    return t.stack_factor_off / 2.0;
+}
+
+} // namespace flh

@@ -1,0 +1,118 @@
+// DFT holding hardware: the three alternatives the paper compares.
+//
+//  * HoldLatchSpec  — enhanced scan's hold latch (paper Fig. 1b / Fig. 6a):
+//                     a transmission-gate latch inserted between every scan
+//                     flip-flop and the combinational logic. Transparent in
+//                     normal mode but always in the stimulus path.
+//  * MuxHoldSpec    — the MUX-based holding logic (Fig. 1b / Fig. 6b, after
+//                     Zhang et al. [13]): a 2:1 MUX per scan flip-flop that
+//                     recirculates the held value.
+//  * FlhGatingSpec  — the paper's contribution (Fig. 3): per *first-level
+//                     gate*, a PMOS/NMOS sleep pair gating VDD/GND plus a
+//                     keeper (two minimum inverters joined by a transmission
+//                     gate) that holds the gate output in sleep mode.
+//
+// Each spec exposes exactly the quantities the evaluation needs: active area
+// (sum W*L), capacitive loading, series delay or drive degradation, switched
+// capacitance in normal mode, and leakage. All derive from transistor-level
+// sizing so the ablation bench can sweep them.
+#pragma once
+
+#include "cell/tech.hpp"
+
+namespace flh {
+
+/// Enhanced-scan hold latch (inserted at a scan-FF output).
+struct HoldLatchSpec {
+    // Sizing in minimum-width units.
+    double tg_w = 2.0;       ///< input transmission gate
+    double fwd_drive = 3.0;  ///< forward inverter (drives the comb fanout)
+    double keeper_w = 1.5;   ///< feedback inverter + feedback TG
+    double clkbuf_w = 2.25;  ///< local HOLD/HOLD_B buffering
+
+    [[nodiscard]] double totalWidthUnits(const Tech& t) const noexcept;
+    [[nodiscard]] double areaUm2(const Tech& t) const noexcept;
+
+    /// Capacitance the latch presents at the scan-FF output (fF).
+    [[nodiscard]] double inputCapFf(const Tech& t) const noexcept;
+
+    /// Series delay added in the stimulus path in normal mode (ps),
+    /// given the downstream load it must drive (fF).
+    [[nodiscard]] double seriesDelayPs(const Tech& t, double load_ff) const noexcept;
+
+    /// Internal capacitance switched per input toggle in normal mode (fF).
+    [[nodiscard]] double switchedCapFf(const Tech& t) const noexcept;
+
+    /// Idle subthreshold leakage (nW).
+    [[nodiscard]] double leakageNw(const Tech& t) const noexcept;
+};
+
+/// MUX-based holding logic (inserted at a scan-FF output).
+struct MuxHoldSpec {
+    double tg_w = 2.0;       ///< two transmission gates
+    double out_drive = 2.67; ///< output inverter pair (restores + drives fanout)
+    double sel_inv_w = 1.0;  ///< select inverter
+    double fb_buf_w = 0.67;  ///< feedback buffer for the recirculation path
+
+    [[nodiscard]] double totalWidthUnits(const Tech& t) const noexcept;
+    [[nodiscard]] double areaUm2(const Tech& t) const noexcept;
+    [[nodiscard]] double inputCapFf(const Tech& t) const noexcept;
+
+    /// Series delay in normal mode (ps). The MUX path is TG + 2 restoring
+    /// inverters, which is why the paper finds it slower than the latch.
+    [[nodiscard]] double seriesDelayPs(const Tech& t, double load_ff) const noexcept;
+
+    [[nodiscard]] double switchedCapFf(const Tech& t) const noexcept;
+    [[nodiscard]] double leakageNw(const Tech& t) const noexcept;
+};
+
+/// FLH gating hardware (inserted in each unique first-level gate).
+///
+/// The sleep pair is sized *relative to the gated gate's drive strength*
+/// ("the size of the supply gating transistors can be optimized for delay
+/// under the given area constraint", Section II): a gate with drive D gets
+/// sleep devices of width sleep_w * D, so the relative drive degradation is
+/// uniform. The drive-1 methods below give the nominal (minimum-drive)
+/// values; callers with a concrete gated cell pass its drive_units
+/// (= r_on_n / cell r_out).
+struct FlhGatingSpec {
+    double sleep_w = 1.75;  ///< per unit of gated-gate drive, each device
+    double keeper_w = 0.75; ///< the two keeper inverters (INV1, INV2)
+    double tg_w = 0.5;      ///< keeper transmission gate
+
+    [[nodiscard]] double totalWidthUnits(const Tech& t, double drive_units = 1.0) const noexcept;
+    [[nodiscard]] double areaUm2(const Tech& t, double drive_units = 1.0) const noexcept;
+
+    /// Extra series resistance the ON sleep pair adds to a gated gate of
+    /// output resistance `r_out_kohm` (kOhm). Proportional sizing makes the
+    /// relative degradation uniform: R_sleep = r_out / sleep_w.
+    [[nodiscard]] double seriesResistanceKohm(double r_out_kohm) const noexcept;
+
+    /// Delay added to a gated gate of output resistance `r_out_kohm`
+    /// driving `load_ff` (ps), including the virtual-rail mitigation factor
+    /// and the keeper's extra load.
+    [[nodiscard]] double addedDelayPs(const Tech& t, double r_out_kohm,
+                                      double load_ff) const noexcept;
+
+    /// Extra load on the gated gate's output: keeper INV1 gate cap + TG
+    /// diffusion (fF). This is the paper's "only source of power overhead".
+    [[nodiscard]] double outputLoadFf(const Tech& t) const noexcept;
+
+    /// Capacitance switched inside the keeper per output toggle (fF):
+    /// INV1 output follows the gate output in normal mode (TG open, loop
+    /// broken), so only INV1's output node switches.
+    [[nodiscard]] double switchedCapFf(const Tech& t) const noexcept;
+
+    /// Leakage of the added devices themselves (nW), normal mode.
+    [[nodiscard]] double addedLeakageNw(const Tech& t) const noexcept;
+
+    /// Multiplier (< 1) on the gated gate's own leakage in normal mode:
+    /// the ON sleep devices act as a stack (active leakage reduction,
+    /// Section III's explanation for s13207).
+    [[nodiscard]] double activeLeakFactor(const Tech& t) const noexcept;
+
+    /// Multiplier (<< 1) on the gated gate's leakage in sleep mode.
+    [[nodiscard]] double sleepLeakFactor(const Tech& t) const noexcept;
+};
+
+} // namespace flh

@@ -1,0 +1,10 @@
+#include "cell/tech.hpp"
+
+namespace flh {
+
+const Tech& defaultTech() noexcept {
+    static const Tech tech{};
+    return tech;
+}
+
+} // namespace flh

@@ -1,0 +1,88 @@
+// Technology parameters for the 70 nm-like process used throughout.
+//
+// The paper maps ISCAS89 netlists to the LEDA 0.25 um cell library and scales
+// the transistors to 70 nm (Berkeley Predictive Technology Model). We have no
+// BPTM decks, so this struct is the single source of truth for an internally
+// consistent 70 nm-like process: all area, delay, power, and leakage numbers
+// in the library and in the analog simulator derive from it.
+//
+// Area is accounted exactly as in the paper: "the measure used for area is
+// the total transistor active area (W x L for a transistor)" (Section III).
+#pragma once
+
+namespace flh {
+
+struct Tech {
+    // Supply and thresholds (volts).
+    double vdd = 1.0;
+    double vth_n = 0.20;
+    double vth_p = 0.22;
+
+    // Geometry (micrometres). Widths elsewhere are expressed in units of
+    // w_min_um; "area units" are (w_min_um * l_min_um) = one minimum device.
+    double l_min_um = 0.07;
+    double w_min_um = 0.14;
+
+    // Capacitance. c_gate_ff_per_um applies to transistor gates, c_diff to
+    // drain/source diffusion at a cell output, c_wire per fanout pin models
+    // local interconnect.
+    double c_gate_ff_per_um = 1.5;
+    double c_diff_ff_per_um = 0.9;
+    double c_wire_ff_per_fanout = 0.25;
+
+    // Drive: on-resistance of a minimum NMOS (kOhm); PMOS is weaker by
+    // the mobility ratio. A device of width w units has R = r / w.
+    double r_on_n_kohm = 15.0;
+    double mobility_ratio = 2.0; // un/up
+
+    // Subthreshold off-current per um of width (nA) at Vgs = 0, and the
+    // reduction factor when two off devices are stacked (Section III cites
+    // Roy et al. on stacking). An ON sleep transistor in series with an
+    // active gate still reduces its leakage (active-leakage stacking).
+    double i_off_na_per_um = 180.0;
+    double stack_factor_off = 0.12;   // 2 series OFF devices
+    double stack_factor_active = 0.75; // sleep device ON in series
+
+    // Inserted DFT hardware (hold latches, MUXes, FLH keepers) is built from
+    // high-Vt devices — it is never speed-critical in normal mode — so its
+    // own subthreshold leakage is this fraction of a standard-Vt device's.
+    double hvt_leak_factor = 0.1;
+
+    // Evaluation clock for normal-mode power (MHz), as a NanoSim-style
+    // vector application rate; 100 random vectors are applied at this rate.
+    double freq_mhz = 200.0;
+
+    // Fraction of the sleep-transistor RC that appears as extra delay on a
+    // supply-gated gate. The virtual rail's distributed diffusion
+    // capacitance supplies the initial switching transient, so the sleep
+    // device degrades the gate drive by less than its full series
+    // resistance ("the size of the supply gating transistors can be
+    // optimized for delay", Section II). Calibrated against the analog
+    // simulator's gated-inverter experiments.
+    double virtual_rail_factor = 0.15;
+
+    /// Gate capacitance of a device of `w_units` minimum widths (fF).
+    [[nodiscard]] double gateCapFf(double w_units) const noexcept {
+        return c_gate_ff_per_um * w_min_um * w_units;
+    }
+
+    /// Diffusion capacitance contributed at a node by `w_units` of width (fF).
+    [[nodiscard]] double diffCapFf(double w_units) const noexcept {
+        return c_diff_ff_per_um * w_min_um * w_units;
+    }
+
+    /// Active area of a minimum device (um^2).
+    [[nodiscard]] double minDeviceAreaUm2() const noexcept {
+        return w_min_um * l_min_um;
+    }
+
+    /// Subthreshold off current for a device of `w_units` widths (nA).
+    [[nodiscard]] double offCurrentNa(double w_units) const noexcept {
+        return i_off_na_per_um * w_min_um * w_units;
+    }
+};
+
+/// The default process used by all experiments.
+[[nodiscard]] const Tech& defaultTech() noexcept;
+
+} // namespace flh

@@ -1,0 +1,81 @@
+// DelayTestKit: the library's one-stop API.
+//
+// Wraps the full flow the paper evaluates:
+//   circuit -> full scan -> choose holding style (enhanced scan / MUX / FLH)
+//           -> area/delay/power evaluation        (Tables I-III)
+//           -> fanout optimization                (Table IV / Section V)
+//           -> transition ATPG + fault simulation (Section IV)
+//           -> cycle-accurate two-pattern application with hold auditing
+//              (Fig. 5b).
+//
+// Example:
+//   DelayTestKit kit = DelayTestKit::forCircuit("s838");
+//   auto eval = kit.evaluate(HoldStyle::Flh);
+//   auto camp = kit.runDelayTestCampaign(HoldStyle::Flh);
+//   std::cout << eval.area_increase_pct << " " << camp.coverage_pct << "\n";
+#pragma once
+
+#include "atpg/transition_atpg.hpp"
+#include "core/test_application.hpp"
+#include "dft/design.hpp"
+#include "dft/fanout_opt.hpp"
+#include "dft/scan.hpp"
+
+#include <memory>
+#include <string>
+
+namespace flh {
+
+/// Result of an end-to-end delay-test campaign (generate + apply + audit).
+struct CampaignResult {
+    HoldStyle style = HoldStyle::Flh;
+    std::size_t tests = 0;
+    double coverage_pct = 0.0;       ///< transition-fault coverage of the set
+    std::size_t applied = 0;         ///< tests executed through the Fig. 5b protocol
+    std::size_t holds_intact = 0;    ///< applications with hold integrity
+    std::size_t launches_faithful = 0;
+    std::size_t captures_correct = 0; ///< captured == expected good response
+};
+
+class DelayTestKit {
+public:
+    /// Build the kit for a registered circuit ("s27", "s298", ... "s13207");
+    /// inserts full scan.
+    [[nodiscard]] static DelayTestKit forCircuit(const std::string& name);
+
+    /// Build from an arbitrary sequential netlist (scan inserted here).
+    explicit DelayTestKit(Netlist netlist);
+
+    [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+    [[nodiscard]] const ScanInfo& scanInfo() const noexcept { return scan_; }
+    [[nodiscard]] const Library& library() const noexcept { return nl_.library(); }
+
+    /// Structural statistics (Table I's left columns).
+    [[nodiscard]] NetlistStats stats() const { return computeStats(nl_); }
+
+    /// Area/delay/power evaluation of one holding style (Tables I-III).
+    [[nodiscard]] DftEvaluation evaluate(HoldStyle style,
+                                         const PowerConfig& power = {}) const;
+
+    /// Section V fanout optimization (mutates the kit's netlist). Returns
+    /// the before/after report.
+    FanoutOptResult optimizeFanout(const FanoutOptConfig& cfg = {});
+
+    /// Generate a transition-fault test set for the given application style
+    /// (FLH and enhanced scan share TestApplication::EnhancedScan), apply
+    /// every test through the Fig. 5b protocol with the given holding
+    /// hardware, and audit the application.
+    [[nodiscard]] CampaignResult runDelayTestCampaign(
+        HoldStyle style, const TransitionAtpgConfig& cfg = {},
+        std::size_t max_applied = 32) const;
+
+    /// Scan-shift (test-mode) power comparison for this circuit.
+    [[nodiscard]] ScanShiftPowerResult scanShiftPower(HoldStyle style,
+                                                      int n_patterns = 8) const;
+
+private:
+    Netlist nl_;
+    ScanInfo scan_{};
+};
+
+} // namespace flh

@@ -1,0 +1,85 @@
+#include "dft/chain_order.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace flh {
+
+std::uint64_t chainShiftTransitions(std::span<const Pattern> patterns,
+                                    std::span<const std::size_t> order) {
+    std::uint64_t transitions = 0;
+    for (const Pattern& p : patterns) {
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            const Logic a = p.state[order[i]];
+            const Logic b = p.state[order[i + 1]];
+            if (a != Logic::X && b != Logic::X && a != b) ++transitions;
+        }
+    }
+    return transitions;
+}
+
+ChainOrderResult optimizeChainOrder(std::span<const Pattern> patterns, std::size_t n_ffs) {
+    ChainOrderResult res;
+    res.order.resize(n_ffs);
+    std::iota(res.order.begin(), res.order.end(), 0);
+    res.transitions_before = chainShiftTransitions(patterns, res.order);
+    if (n_ffs < 3 || patterns.empty()) {
+        res.transitions_after = res.transitions_before;
+        return res;
+    }
+
+    // Pairwise Hamming distance between FF bit columns.
+    const auto dist = [&](std::size_t a, std::size_t b) {
+        std::size_t d = 0;
+        for (const Pattern& p : patterns) {
+            const Logic x = p.state[a];
+            const Logic y = p.state[b];
+            if (x != Logic::X && y != Logic::X && x != y) ++d;
+        }
+        return d;
+    };
+
+    // Nearest-neighbour walk starting from each of a few seeds; keep best.
+    std::vector<std::size_t> best;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    const std::size_t n_seeds = std::min<std::size_t>(n_ffs, 4);
+    for (std::size_t seed = 0; seed < n_seeds; ++seed) {
+        std::vector<bool> used(n_ffs, false);
+        std::vector<std::size_t> order;
+        order.reserve(n_ffs);
+        std::size_t cur = seed * (n_ffs / n_seeds);
+        used[cur] = true;
+        order.push_back(cur);
+        while (order.size() < n_ffs) {
+            std::size_t next = n_ffs;
+            std::size_t next_d = std::numeric_limits<std::size_t>::max();
+            for (std::size_t c = 0; c < n_ffs; ++c) {
+                if (used[c]) continue;
+                const std::size_t d = dist(cur, c);
+                if (d < next_d) {
+                    next_d = d;
+                    next = c;
+                }
+            }
+            used[next] = true;
+            order.push_back(next);
+            cur = next;
+        }
+        const std::uint64_t cost = chainShiftTransitions(patterns, order);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = std::move(order);
+        }
+    }
+
+    if (best_cost < res.transitions_before) {
+        res.order = std::move(best);
+        res.transitions_after = best_cost;
+    } else {
+        res.transitions_after = res.transitions_before;
+    }
+    return res;
+}
+
+} // namespace flh

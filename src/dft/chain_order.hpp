@@ -1,0 +1,48 @@
+// Scan-chain ordering for shift-power reduction.
+//
+// Under FLH the combinational block is silent during shifting (Section IV),
+// but the scan-FF output wires still toggle with the moving stream — the
+// one residual test-power term FLH does not remove (enhanced scan blocks it
+// at the latch, at much higher normal-mode cost). The number of wire
+// toggles is the number of adjacent-bit transitions in the serialized
+// stream, which depends on the chain order: placing FFs whose pattern bits
+// correlate next to each other smooths the stream.
+//
+// optimizeChainOrder runs a nearest-neighbour pass over the FF bit columns
+// (Hamming distance), the classical greedy for this TSP-shaped problem.
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace flh {
+
+/// Adjacent-bit transitions of the serialized shift streams for `patterns`
+/// when the chain is ordered by `order` (order[i] = FF index at chain
+/// position i). Each transition ripples down the whole chain, so relative
+/// comparisons equal relative shift-wire energy.
+[[nodiscard]] std::uint64_t chainShiftTransitions(std::span<const Pattern> patterns,
+                                                  std::span<const std::size_t> order);
+
+struct ChainOrderResult {
+    std::vector<std::size_t> order; ///< FF index per chain position
+    std::uint64_t transitions_before = 0; ///< identity order
+    std::uint64_t transitions_after = 0;
+
+    [[nodiscard]] double reductionPct() const noexcept {
+        return transitions_before
+                   ? 100.0 *
+                         static_cast<double>(transitions_before - transitions_after) /
+                         static_cast<double>(transitions_before)
+                   : 0.0;
+    }
+};
+
+/// Greedy chain reordering minimizing the serialized-stream transitions of
+/// the given pattern set.
+[[nodiscard]] ChainOrderResult optimizeChainOrder(std::span<const Pattern> patterns,
+                                                  std::size_t n_ffs);
+
+} // namespace flh

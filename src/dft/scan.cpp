@@ -1,0 +1,40 @@
+#include "dft/scan.hpp"
+
+#include <stdexcept>
+
+namespace flh {
+
+bool isFullScan(const Netlist& nl) {
+    const auto& ffs = nl.flipFlops();
+    if (ffs.empty()) return false;
+    for (const GateId ff : ffs)
+        if (nl.gate(ff).fn != CellFn::Sdff) return false;
+    return true;
+}
+
+ScanInfo insertScan(Netlist& nl) {
+    const auto ffs = nl.flipFlops();
+    if (ffs.empty()) throw std::invalid_argument("insertScan: no flip-flops in " + nl.name());
+    for (const GateId ff : ffs)
+        if (nl.gate(ff).fn == CellFn::Sdff)
+            throw std::invalid_argument("insertScan: netlist already scanned");
+
+    ScanInfo info;
+    info.test_control = nl.addPi("TC");
+    info.scan_in = nl.addPi("SCAN_IN");
+    info.chain_length = ffs.size();
+
+    // Chain: SI of FF[i] is Q of FF[i+1]; SI of the last FF is SCAN_IN.
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+        const GateId ff = ffs[i];
+        const NetId d = nl.gate(ff).inputs[0];
+        const NetId si = (i + 1 < ffs.size()) ? nl.gate(ffs[i + 1]).output : info.scan_in;
+        nl.replaceGate(ff, CellFn::Sdff, {d, si, info.test_control});
+    }
+    info.scan_out = nl.gate(ffs.front()).output;
+    nl.markPo(info.scan_out);
+    nl.check();
+    return info;
+}
+
+} // namespace flh

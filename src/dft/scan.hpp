@@ -1,0 +1,34 @@
+// Full-scan insertion.
+//
+// Every DFF is replaced by a scan DFF (SDFF: D, SI, SE) and the SI pins are
+// stitched into a single chain: SCAN_IN -> FF[n-1] -> ... -> FF[0], whose Q
+// is additionally exported as SCAN_OUT. The test-control input TC (the
+// paper's only control signal; its complement is generated locally) is added
+// as a primary input driving every SE pin.
+//
+// The paper assumes "full-scan implementation of the benchmarks"; all three
+// holding styles (enhanced scan, MUX-hold, FLH) are layered on top of this
+// common scan fabric, so its cost cancels out of every comparison.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <string>
+
+namespace flh {
+
+struct ScanInfo {
+    NetId scan_in = kInvalidId;
+    NetId scan_out = kInvalidId;
+    NetId test_control = kInvalidId; ///< the paper's TC signal
+    std::size_t chain_length = 0;
+};
+
+/// In-place full-scan insertion. Idempotent: calling on an already-scanned
+/// netlist throws. Returns the created scan ports.
+ScanInfo insertScan(Netlist& nl);
+
+/// True if every flip-flop is already a scan flip-flop.
+[[nodiscard]] bool isFullScan(const Netlist& nl);
+
+} // namespace flh

@@ -1,0 +1,51 @@
+// Delay-fault diagnosis (Section I: "Scan-based structural delay testing
+// not only helps detection but also diagnosis of delay faults, and hence,
+// is a popular choice").
+//
+// Cause-effect diagnosis: given the observed per-test responses of a
+// defective die, every candidate transition fault's responses are simulated
+// and scored against the observation. The arbitrary two-pattern application
+// (FLH/enhanced scan) is what makes the per-test responses reproducible
+// enough for this to work: each test applies a known (V1, V2).
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+#include <vector>
+
+namespace flh {
+
+/// Per-test capture view (POs then FF D values, fully specified).
+using Response = std::vector<Logic>;
+
+/// Simulate the responses a die with `fault` produces under `tests`.
+[[nodiscard]] std::vector<Response> simulateFaultyResponses(const Netlist& nl,
+                                                            std::span<const TwoPattern> tests,
+                                                            const TransitionFault& fault);
+
+/// Good-machine responses.
+[[nodiscard]] std::vector<Response> simulateGoodResponses(const Netlist& nl,
+                                                          std::span<const TwoPattern> tests);
+
+struct Candidate {
+    std::size_t fault_index = 0;
+    int mismatching_tests = 0; ///< tests where candidate's prediction misses
+};
+
+struct DiagnosisResult {
+    /// Candidates ranked best-first (fewest mismatches).
+    std::vector<Candidate> ranking;
+
+    /// Rank of a given fault index (1-based; 0 = not present).
+    [[nodiscard]] std::size_t rankOf(std::size_t fault_index) const;
+    /// Number of candidates tied at the best score.
+    [[nodiscard]] std::size_t bestTieSize() const;
+};
+
+/// Rank `candidates` by how well their simulated responses explain
+/// `observed` (one response per test).
+[[nodiscard]] DiagnosisResult diagnose(const Netlist& nl, std::span<const TwoPattern> tests,
+                                       std::span<const Response> observed,
+                                       std::span<const TransitionFault> candidates);
+
+} // namespace flh

@@ -1,0 +1,100 @@
+#include "fault/faults.hpp"
+
+#include <unordered_set>
+
+namespace flh {
+
+std::string toString(const Netlist& nl, const FaultSite& f) {
+    std::string s = nl.net(f.net).name;
+    if (f.isPinFault())
+        s += "->g" + std::to_string(f.gate) + ".p" + std::to_string(f.pin);
+    s += f.stuck_at_one ? "/1" : "/0";
+    return s;
+}
+
+std::string toString(const Netlist& nl, const TransitionFault& f) {
+    return nl.net(f.net).name + (f.kind == Transition::SlowToRise ? " STR" : " STF");
+}
+
+namespace {
+
+bool isObservableNet(const Netlist& nl, NetId n) {
+    // A net is part of the fault universe if it is a PI or driven by a
+    // combinational gate; FF outputs are pseudo-PIs and carry faults too.
+    (void)nl;
+    (void)n;
+    return true;
+}
+
+} // namespace
+
+std::vector<FaultSite> allStuckAtFaults(const Netlist& nl) {
+    std::vector<FaultSite> out;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        if (!isObservableNet(nl, n)) continue;
+        for (const bool sa1 : {false, true}) {
+            FaultSite f;
+            f.net = n;
+            f.stuck_at_one = sa1;
+            out.push_back(f);
+        }
+        for (const PinRef& pr : nl.fanout(n)) {
+            if (isSequential(nl.gate(pr.gate).fn)) continue;
+            for (const bool sa1 : {false, true}) {
+                FaultSite f;
+                f.net = n;
+                f.gate = pr.gate;
+                f.pin = pr.pin;
+                f.stuck_at_one = sa1;
+                out.push_back(f);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FaultSite> collapsedStuckAtFaults(const Netlist& nl) {
+    std::vector<FaultSite> out;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        // Keep both output faults on every net.
+        for (const bool sa1 : {false, true}) {
+            FaultSite f;
+            f.net = n;
+            f.stuck_at_one = sa1;
+            out.push_back(f);
+        }
+        // Input-pin faults are distinct only where the net fans out to more
+        // than one combinational pin (a fanout stem); on a fanout-free net
+        // the pin fault is equivalent to the net fault.
+        std::size_t comb_fanout = 0;
+        for (const PinRef& pr : nl.fanout(n))
+            if (!isSequential(nl.gate(pr.gate).fn)) ++comb_fanout;
+        if (comb_fanout <= 1) continue;
+        for (const PinRef& pr : nl.fanout(n)) {
+            const Gate& g = nl.gate(pr.gate);
+            if (isSequential(g.fn)) continue;
+            // BUF/INV inputs collapse to their (inverted) output faults.
+            if (g.fn == CellFn::Buf || g.fn == CellFn::Inv) continue;
+            for (const bool sa1 : {false, true}) {
+                FaultSite f;
+                f.net = n;
+                f.gate = pr.gate;
+                f.pin = pr.pin;
+                f.stuck_at_one = sa1;
+                out.push_back(f);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<TransitionFault> allTransitionFaults(const Netlist& nl) {
+    std::vector<TransitionFault> out;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        for (const Transition k : {Transition::SlowToRise, Transition::SlowToFall})
+            out.push_back(TransitionFault{n, k});
+    }
+    return out;
+}
+
+} // namespace flh

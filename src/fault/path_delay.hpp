@@ -1,0 +1,64 @@
+// Path-delay fault model (Section IV: "the conventional stuck-at fault
+// model, transition and path delay fault models remain valid").
+//
+// A path-delay fault is a slow rising/falling transition along one complete
+// structural path from a launch point (PI or scan-FF output) to a capture
+// point (PO or scan-FF D input). Testing it needs a two-pattern test whose
+// V2 *sensitizes* every gate along the path (side inputs at non-controlling
+// values) while V1/V2 launch the transition at the path input — exactly the
+// arbitrary-pair capability FLH provides.
+//
+// This module enumerates the timing-critical paths (the ones worth testing)
+// and checks sensitization; test generation lives in atpg/path_atpg.hpp.
+#pragma once
+
+#include "fault/fault_sim.hpp"
+#include "sta/timing.hpp"
+
+#include <vector>
+
+namespace flh {
+
+/// One structural path: nets[0] is the launch net (PI or FF Q), nets.back()
+/// the capture net; gates[i] drives nets[i+1] from nets[i].
+struct DelayPath {
+    std::vector<NetId> nets;
+    std::vector<GateId> gates;
+    double delay_ps = 0.0;
+
+    [[nodiscard]] std::size_t length() const noexcept { return gates.size(); }
+};
+
+/// A path-delay fault: a path plus the transition polarity at its input.
+struct PathDelayFault {
+    DelayPath path;
+    bool rising = true; ///< transition launched at nets[0]
+};
+
+/// Enumerate every structural path whose delay is within `slack_window_ps`
+/// of the critical delay, capped at `max_paths` (longest first).
+[[nodiscard]] std::vector<DelayPath> enumerateCriticalPaths(const Netlist& nl,
+                                                            const TimingOverlay& ov,
+                                                            double slack_window_ps,
+                                                            std::size_t max_paths = 64);
+
+/// Side-input sensitization constraints for a path under V2: (net, value)
+/// pairs that put every off-path input at a non-controlling value. Returns
+/// false if the path passes through a gate that cannot be statically
+/// sensitized this way (e.g. conflicting requirements on one net).
+bool sensitizationConstraints(const Netlist& nl, const DelayPath& path,
+                              std::vector<std::pair<NetId, Logic>>& out);
+
+/// The value the path input must hold under V2 for the transition to travel
+/// with the given polarity, and the resulting value at each on-path net.
+/// on_path_values[i] corresponds to path.nets[i].
+[[nodiscard]] std::vector<Logic> onPathValues(const Netlist& nl, const DelayPath& path,
+                                              bool rising_at_input);
+
+/// Validate that a two-pattern test really tests the fault (non-robust
+/// criterion): V2 satisfies the sensitization constraints and the on-path
+/// values; V1 sets the path input to the opposite value.
+[[nodiscard]] bool testsPath(const Netlist& nl, const PathDelayFault& fault,
+                             const TwoPattern& tp);
+
+} // namespace flh

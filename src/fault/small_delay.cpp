@@ -1,0 +1,55 @@
+#include "fault/small_delay.hpp"
+
+#include <algorithm>
+
+namespace flh {
+
+std::vector<double> longestPathThroughNet(const Netlist& nl, const TimingOverlay& ov) {
+    const TimingResult sta = runSta(nl, ov);
+
+    // downstream[n]: max remaining delay from n to any endpoint.
+    std::vector<bool> is_end(nl.netCount(), false);
+    for (const NetId po : nl.pos()) is_end[po] = true;
+    for (const GateId ff : nl.flipFlops()) is_end[nl.gate(ff).inputs[0]] = true;
+
+    std::vector<double> downstream(nl.netCount(), -1e18);
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        if (is_end[n]) downstream[n] = 0.0;
+    const auto& topo = nl.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const Gate& g = nl.gate(*it);
+        if (downstream[g.output] < -1e17) continue;
+        const double d = gateDelayPs(nl, *it, ov) + downstream[g.output];
+        for (const NetId in : g.inputs) downstream[in] = std::max(downstream[in], d);
+    }
+
+    std::vector<double> through(nl.netCount(), 0.0);
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        through[n] = downstream[n] < -1e17 ? 0.0 : sta.arrival_ps[n] + downstream[n];
+    return through;
+}
+
+std::vector<SddGrade> gradeSmallDelayCoverage(const Netlist& nl, const TimingOverlay& ov,
+                                              std::span<const TwoPattern> tests,
+                                              std::span<const TransitionFault> faults,
+                                              double clock_ps,
+                                              std::span<const double> defect_sizes_ps) {
+    const auto through = longestPathThroughNet(nl, ov);
+    const FaultSimResult sim = runTransitionFaultSim(nl, tests, faults);
+
+    std::vector<SddGrade> grades;
+    grades.reserve(defect_sizes_ps.size());
+    for (const double d : defect_sizes_ps) {
+        SddGrade g;
+        g.defect_size_ps = d;
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+            if (through[faults[f].net] + d <= clock_ps) continue; // harmless defect
+            ++g.detectable;
+            if (sim.detected_mask[f]) ++g.detected;
+        }
+        grades.push_back(g);
+    }
+    return grades;
+}
+
+} // namespace flh

@@ -1,0 +1,80 @@
+#include "iscas/circuits.hpp"
+
+#include "netlist/bench_io.hpp"
+
+#include <stdexcept>
+
+namespace flh {
+
+namespace {
+
+// The genuine ISCAS89 s27 netlist.
+constexpr const char* kS27 = R"(
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+} // namespace
+
+Netlist makeS27(const Library& lib) { return readBenchString(kS27, "s27", lib); }
+
+const std::vector<CircuitSpec>& paperCircuits() {
+    // Structural statistics: PI/PO/FF/gate counts follow the published
+    // ISCAS89 profiles; unique_ratio values follow paper Table I (average
+    // 1.8, worst case 3.0 on s838); ff_fanout_avg averages 2.3 per Table I.
+    static const std::vector<CircuitSpec> specs = {
+        //    name      PI  PO   FF  gates depth  fan   uniq  seed    hold
+        {"s298", 3, 6, 14, 119, 9, 3.1, 2.5, 0x298, 0.0},
+        {"s344", 9, 11, 15, 160, 14, 2.7, 2.1, 0x344, 0.0},
+        {"s386", 7, 7, 6, 159, 11, 1.3, 1.0, 0x386, 0.0},
+        {"s510", 19, 7, 6, 211, 12, 1.7, 1.3, 0x510, 0.1},
+        {"s641", 35, 24, 19, 379, 24, 2.8, 2.2, 0x641, 0.1},
+        {"s838", 34, 1, 32, 446, 16, 3.7, 3.0, 0x838, 0.2},
+        {"s1196", 14, 14, 18, 529, 24, 2.0, 1.6, 0x1196, 0.2},
+        {"s1423", 17, 5, 74, 657, 35, 2.6, 2.1, 0x1423, 0.3},
+        {"s5378", 35, 49, 179, 2779, 25, 1.5, 1.14, 0x5378, 0.5},
+        {"s9234", 36, 39, 211, 5597, 30, 1.9, 1.5, 0x9234, 0.55},
+        {"s13207", 62, 152, 638, 7951, 32, 2.0, 1.6, 0x13207, 0.85},
+    };
+    return specs;
+}
+
+std::vector<CircuitSpec> tableIvCircuits() {
+    // Table IV applies the fanout optimizer to the circuits with the larger
+    // scan chains.
+    std::vector<CircuitSpec> out;
+    for (const CircuitSpec& s : paperCircuits()) {
+        if (s.n_ffs >= 15 && s.name != "s386" && s.name != "s510") out.push_back(s);
+    }
+    return out;
+}
+
+const CircuitSpec& findCircuit(const std::string& name) {
+    for (const CircuitSpec& s : paperCircuits())
+        if (s.name == name) return s;
+    throw std::out_of_range("unknown circuit: " + name);
+}
+
+Netlist makeCircuit(const std::string& name, const Library& lib) {
+    if (name == "s27") return makeS27(lib);
+    return generateCircuit(findCircuit(name), lib);
+}
+
+} // namespace flh

@@ -1,0 +1,266 @@
+// Statistics-matched synthetic circuit generation (see circuits.hpp).
+//
+// Construction invariants:
+//  * exactly round(unique_ratio * n_ffs) gates take flip-flop outputs as
+//    inputs (the unique first-level gates); no other gate touches a FF
+//    output, so Table I's "unique fanouts" column is reproduced exactly;
+//  * total FF->pin connections equal round(ff_fanout_avg * n_ffs) exactly;
+//  * a backbone chain guarantees the critical path has exactly `depth`
+//    logic levels, and no gate exceeds it;
+//  * every FF D input is driven by a dedicated gate, every gate output is
+//    consumed (dangling outputs become primary outputs);
+//  * the whole construction is a pure function of the seed.
+#include "iscas/circuits.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace flh {
+
+namespace {
+
+struct FnChoice {
+    CellFn fn;
+    int arity;
+    double weight;
+};
+
+const std::vector<FnChoice>& fnChoices() {
+    static const std::vector<FnChoice> choices = {
+        {CellFn::Inv, 1, 0.14},  {CellFn::Buf, 1, 0.02},   {CellFn::Nand, 2, 0.22},
+        {CellFn::Nor, 2, 0.12},  {CellFn::And, 2, 0.09},   {CellFn::Or, 2, 0.07},
+        {CellFn::Xor, 2, 0.04},  {CellFn::Xnor, 2, 0.02},  {CellFn::Nand, 3, 0.08},
+        {CellFn::Nor, 3, 0.04},  {CellFn::And, 3, 0.03},   {CellFn::Or, 3, 0.02},
+        {CellFn::Nand, 4, 0.02}, {CellFn::Nor, 4, 0.01},   {CellFn::Aoi21, 3, 0.04},
+        {CellFn::Oai21, 3, 0.03}, {CellFn::Aoi22, 4, 0.015}, {CellFn::Oai22, 4, 0.01},
+        {CellFn::Mux2, 3, 0.02},
+    };
+    return choices;
+}
+
+/// Pick a gate function with arity in [min_arity, 4], weighted.
+FnChoice pickFn(Rng& rng, int min_arity) {
+    const auto& all = fnChoices();
+    std::vector<double> w(all.size(), 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i].arity >= min_arity) {
+            w[i] = all[i].weight;
+            any = true;
+        }
+    }
+    if (!any) throw std::logic_error("no gate with arity >= " + std::to_string(min_arity));
+    return all[rng.weighted(w)];
+}
+
+} // namespace
+
+Netlist generateCircuit(const CircuitSpec& spec, const Library& lib) {
+    if (spec.n_ffs < 1 || spec.n_pis < 1 || spec.n_comb_gates < 4)
+        throw std::invalid_argument("circuit spec too small: " + spec.name);
+
+    Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0xA5A5);
+    Netlist nl(spec.name, lib);
+
+    // --- primary inputs and flip-flops ---------------------------------
+    std::vector<NetId> pis;
+    for (int i = 0; i < spec.n_pis; ++i) pis.push_back(nl.addPi("PI" + std::to_string(i)));
+
+    std::vector<NetId> ffq(static_cast<std::size_t>(spec.n_ffs));
+    std::vector<NetId> ffd(static_cast<std::size_t>(spec.n_ffs));
+    for (int i = 0; i < spec.n_ffs; ++i) {
+        ffq[static_cast<std::size_t>(i)] = nl.addNet("FFQ" + std::to_string(i));
+        ffd[static_cast<std::size_t>(i)] = nl.addNet("FFD" + std::to_string(i));
+    }
+    for (int i = 0; i < spec.n_ffs; ++i)
+        nl.addDff(ffd[static_cast<std::size_t>(i)], ffq[static_cast<std::size_t>(i)]);
+
+    // --- first-level gate planning --------------------------------------
+    const int n_fl = std::max(1, static_cast<int>(spec.unique_ratio * spec.n_ffs + 0.5));
+    int total_ff_pins =
+        std::max({spec.n_ffs, n_fl,
+                  static_cast<int>(spec.ff_fanout_avg * spec.n_ffs + 0.5)});
+    total_ff_pins = std::min(total_ff_pins, 4 * n_fl);
+
+    // k[i]: number of FF-driven pins on first-level gate i (1..4 each).
+    std::vector<int> k(static_cast<std::size_t>(n_fl), 1);
+    for (int extra = total_ff_pins - n_fl; extra > 0;) {
+        const auto i = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n_fl)));
+        if (k[i] < 4) {
+            ++k[i];
+            --extra;
+        }
+    }
+
+    // Assign FF sources to pins: every FF appears at least once.
+    std::vector<int> pin_sources;
+    pin_sources.reserve(static_cast<std::size_t>(total_ff_pins));
+    for (int f = 0; f < spec.n_ffs; ++f) pin_sources.push_back(f);
+    for (int p = spec.n_ffs; p < total_ff_pins; ++p) pin_sources.push_back(rng.range(0, spec.n_ffs - 1));
+    rng.shuffle(pin_sources);
+
+    // --- signal pool by realized logic level ----------------------------
+    // Interior gates must never take a FF output (that would add first-level
+    // gates); their pool holds PIs (level 0) and gate outputs.
+    std::vector<std::vector<NetId>> by_level(1);
+    by_level[0] = pis;
+
+    int next_net = 0;
+    const auto freshNet = [&] { return nl.addNet("N" + std::to_string(next_net++)); };
+
+    std::size_t src_cursor = 0;
+    for (int i = 0; i < n_fl; ++i) {
+        const int want = k[static_cast<std::size_t>(i)];
+        const FnChoice fc = pickFn(rng, want);
+        std::vector<NetId> ins;
+        std::unordered_set<NetId> used;
+        for (int p = 0; p < want; ++p) {
+            // Prefer distinct FFs on the same gate; fall back to any FF.
+            NetId q = ffq[static_cast<std::size_t>(pin_sources[src_cursor++])];
+            for (int tries = 0; used.contains(q) && tries < 8; ++tries)
+                q = ffq[static_cast<std::size_t>(rng.range(0, spec.n_ffs - 1))];
+            used.insert(q);
+            ins.push_back(q);
+        }
+        while (static_cast<int>(ins.size()) < fc.arity) {
+            const NetId pi = pis[static_cast<std::size_t>(rng.range(0, spec.n_pis - 1))];
+            if (!used.insert(pi).second && spec.n_pis > static_cast<int>(used.size())) continue;
+            ins.push_back(pi);
+        }
+        rng.shuffle(ins);
+        const NetId out = freshNet();
+        nl.addGate(fc.fn, ins, out);
+        if (by_level.size() < 2) by_level.emplace_back();
+        by_level[1].push_back(out);
+    }
+
+    // --- interior gates --------------------------------------------------
+    const int n_interior = spec.n_comb_gates - n_fl;
+    if (n_interior < spec.n_ffs)
+        throw std::invalid_argument(spec.name + ": not enough gates to drive all FF inputs");
+    const int depth = std::max(2, std::min(spec.depth, n_interior + 1));
+    by_level.resize(static_cast<std::size_t>(depth) + 1);
+
+    // Plan levels: one backbone gate per level 2..depth, the rest random.
+    std::vector<int> gate_level;
+    gate_level.reserve(static_cast<std::size_t>(n_interior));
+    for (int l = 2; l <= depth; ++l) gate_level.push_back(l);
+    for (int i = static_cast<int>(gate_level.size()); i < n_interior; ++i)
+        gate_level.push_back(rng.range(2, depth));
+    std::sort(gate_level.begin(), gate_level.end());
+
+    // The last n_ffs *non-backbone* interior gates (highest levels) drive the
+    // FF D nets. Backbone gates (the first gate at each level) must stay in
+    // the signal pool so the depth chain never starves.
+    std::vector<bool> is_backbone(static_cast<std::size_t>(n_interior), false);
+    {
+        int prev_level = -1;
+        int non_backbone = 0;
+        for (int i = 0; i < n_interior; ++i) {
+            const int l = gate_level[static_cast<std::size_t>(i)];
+            if (l != prev_level) {
+                is_backbone[static_cast<std::size_t>(i)] = true;
+                prev_level = l;
+            } else {
+                ++non_backbone;
+            }
+        }
+        if (non_backbone < spec.n_ffs)
+            throw std::invalid_argument(spec.name + ": not enough non-backbone gates for FFs");
+    }
+    std::vector<NetId> d_assign(ffd);
+    rng.shuffle(d_assign);
+
+    const auto pickBelow = [&](int level, std::unordered_set<NetId>& used) -> NetId {
+        // Draw from levels [0, level); bias toward deeper signals.
+        for (int tries = 0; tries < 16; ++tries) {
+            int l = rng.chance(0.5) ? level - 1 : rng.range(0, level - 1);
+            while (l >= 0 && by_level[static_cast<std::size_t>(l)].empty()) --l;
+            if (l < 0) break;
+            const auto& pool = by_level[static_cast<std::size_t>(l)];
+            const NetId n = pool[rng.below(pool.size())];
+            if (!used.contains(n)) return n;
+        }
+        // Give up on distinctness: return any available signal.
+        for (int l = level - 1; l >= 0; --l)
+            if (!by_level[static_cast<std::size_t>(l)].empty())
+                return by_level[static_cast<std::size_t>(l)][0];
+        throw std::logic_error("no signal below level " + std::to_string(level));
+    };
+
+    int d_next = 0;
+    int non_backbone_left = 0;
+    for (bool b : is_backbone)
+        if (!b) ++non_backbone_left;
+    for (int i = 0; i < n_interior; ++i) {
+        const int level = gate_level[static_cast<std::size_t>(i)];
+        const FnChoice fc = pickFn(rng, 1);
+        std::vector<NetId> ins;
+        std::unordered_set<NetId> used;
+
+        // Anchor: one input from exactly level-1 so the gate lands on its
+        // planned level (keeps the realized depth equal to the target).
+        int anchor_level = level - 1;
+        while (anchor_level > 0 && by_level[static_cast<std::size_t>(anchor_level)].empty())
+            --anchor_level;
+        const auto& anchor_pool = by_level[static_cast<std::size_t>(anchor_level)];
+        const NetId anchor = anchor_pool[rng.below(anchor_pool.size())];
+        ins.push_back(anchor);
+        used.insert(anchor);
+
+        while (static_cast<int>(ins.size()) < fc.arity) {
+            const NetId n = pickBelow(level, used);
+            used.insert(n);
+            ins.push_back(n);
+        }
+        rng.shuffle(ins);
+
+        const bool backbone = is_backbone[static_cast<std::size_t>(i)];
+        const bool drives_ff = !backbone && non_backbone_left <= (spec.n_ffs - d_next);
+        if (!backbone) --non_backbone_left;
+        const NetId out = drives_ff ? d_assign[static_cast<std::size_t>(d_next++)] : freshNet();
+        nl.addGate(fc.fn, ins, out);
+        const int realized = anchor_level + 1;
+        if (!drives_ff) by_level[static_cast<std::size_t>(realized)].push_back(out);
+    }
+    assert(d_next == spec.n_ffs);
+
+    // --- primary outputs --------------------------------------------------
+    // Prefer deep, otherwise-unused signals as POs; then promote any
+    // remaining dangling outputs to POs so nothing is left floating.
+    std::vector<NetId> candidates;
+    for (int l = depth; l >= 1; --l)
+        for (NetId n : by_level[static_cast<std::size_t>(l)]) candidates.push_back(n);
+    std::size_t po_count = 0;
+    for (NetId n : candidates) {
+        if (po_count >= static_cast<std::size_t>(spec.n_pos)) break;
+        if (nl.fanout(n).empty()) {
+            nl.markPo(n);
+            ++po_count;
+        }
+    }
+    for (NetId n : candidates) {
+        if (po_count >= static_cast<std::size_t>(spec.n_pos)) break;
+        const auto& already = nl.pos();
+        if (std::find(already.begin(), already.end(), n) == already.end()) {
+            nl.markPo(n);
+            ++po_count;
+        }
+    }
+    // Promote leftover dangling outputs.
+    for (NetId n : candidates) {
+        if (nl.fanout(n).empty()) {
+            const auto& already = nl.pos();
+            if (std::find(already.begin(), already.end(), n) == already.end()) nl.markPo(n);
+        }
+    }
+
+    nl.check();
+    return nl;
+}
+
+} // namespace flh

@@ -1,0 +1,177 @@
+#include "netlist/bench_io.hpp"
+
+#include "util/strings.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace flh {
+
+namespace {
+
+std::optional<CellFn> opToFn(const std::string& op) {
+    const std::string u = toUpper(op);
+    if (u == "AND") return CellFn::And;
+    if (u == "OR") return CellFn::Or;
+    if (u == "NAND") return CellFn::Nand;
+    if (u == "NOR") return CellFn::Nor;
+    if (u == "NOT" || u == "INV") return CellFn::Inv;
+    if (u == "BUFF" || u == "BUF") return CellFn::Buf;
+    if (u == "XOR") return CellFn::Xor;
+    if (u == "XNOR") return CellFn::Xnor;
+    if (u == "AOI21") return CellFn::Aoi21;
+    if (u == "AOI22") return CellFn::Aoi22;
+    if (u == "OAI21") return CellFn::Oai21;
+    if (u == "OAI22") return CellFn::Oai22;
+    if (u == "MUX2" || u == "MUX") return CellFn::Mux2;
+    if (u == "DFF") return CellFn::Dff;
+    if (u == "SDFF") return CellFn::Sdff;
+    return std::nullopt;
+}
+
+std::string fnToOp(CellFn fn) {
+    switch (fn) {
+        case CellFn::Buf: return "BUFF";
+        case CellFn::Inv: return "NOT";
+        case CellFn::Mux2: return "MUX2";
+        default: return toString(fn);
+    }
+}
+
+struct PendingGate {
+    std::string output;
+    CellFn fn;
+    std::vector<std::string> inputs;
+    int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& what) {
+    throw std::runtime_error("bench parse error at line " + std::to_string(line) + ": " + what);
+}
+
+} // namespace
+
+Netlist readBench(std::istream& in, const std::string& name, const Library& lib) {
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    std::vector<PendingGate> pending;
+
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string_view line = trim(raw);
+        if (const auto hash = line.find('#'); hash != std::string_view::npos)
+            line = trim(line.substr(0, hash));
+        if (line.empty()) continue;
+
+        const auto lparen = line.find('(');
+        const auto rparen = line.rfind(')');
+        if (startsWith(toUpper(std::string(line)), "INPUT")) {
+            if (lparen == std::string_view::npos || rparen == std::string_view::npos)
+                fail(line_no, "malformed INPUT");
+            inputs.emplace_back(trim(line.substr(lparen + 1, rparen - lparen - 1)));
+            continue;
+        }
+        if (startsWith(toUpper(std::string(line)), "OUTPUT")) {
+            if (lparen == std::string_view::npos || rparen == std::string_view::npos)
+                fail(line_no, "malformed OUTPUT");
+            outputs.emplace_back(trim(line.substr(lparen + 1, rparen - lparen - 1)));
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string_view::npos) fail(line_no, "expected assignment");
+        const std::string lhs{trim(line.substr(0, eq))};
+        const std::string_view rhs = trim(line.substr(eq + 1));
+        const auto rl = rhs.find('(');
+        const auto rr = rhs.rfind(')');
+        if (rl == std::string_view::npos || rr == std::string_view::npos || rr < rl)
+            fail(line_no, "expected OP(args)");
+        const std::string op{trim(rhs.substr(0, rl))};
+        const auto fn = opToFn(op);
+        if (!fn) fail(line_no, "unknown operator '" + op + "'");
+        PendingGate pg;
+        pg.output = lhs;
+        pg.fn = *fn;
+        pg.inputs = splitTrim(rhs.substr(rl + 1, rr - rl - 1), ',');
+        pg.line = line_no;
+        if (pg.inputs.empty()) fail(line_no, "gate with no inputs");
+        pending.push_back(std::move(pg));
+    }
+
+    Netlist nl(name, lib);
+    const auto ensureNet = [&nl](const std::string& n) {
+        if (const auto id = nl.findNet(n)) return *id;
+        return nl.addNet(n);
+    };
+
+    for (const std::string& n : inputs) nl.addPi(n);
+    // Create output nets of all gates first so forward references resolve.
+    for (const PendingGate& pg : pending) ensureNet(pg.output);
+    for (const PendingGate& pg : pending) {
+        std::vector<NetId> ins;
+        ins.reserve(pg.inputs.size());
+        for (const std::string& i : pg.inputs) ins.push_back(ensureNet(i));
+        const NetId out = *nl.findNet(pg.output);
+        try {
+            if (pg.fn == CellFn::Dff) {
+                if (ins.size() != 1) fail(pg.line, "DFF takes one input");
+                nl.addDff(ins[0], out);
+            } else {
+                nl.addGate(pg.fn, ins, out);
+            }
+        } catch (const std::exception& e) {
+            fail(pg.line, e.what());
+        }
+    }
+    for (const std::string& n : outputs) {
+        const auto id = nl.findNet(n);
+        if (!id) throw std::runtime_error("OUTPUT references unknown net: " + n);
+        nl.markPo(*id);
+    }
+    nl.check();
+    return nl;
+}
+
+Netlist readBenchString(const std::string& text, const std::string& name, const Library& lib) {
+    std::istringstream is(text);
+    return readBench(is, name, lib);
+}
+
+Netlist readBenchFile(const std::string& path, const Library& lib) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/'); slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (const auto dot = name.find_last_of('.'); dot != std::string::npos)
+        name = name.substr(0, dot);
+    return readBench(is, name, lib);
+}
+
+void writeBench(std::ostream& os, const Netlist& nl) {
+    os << "# " << nl.name() << "\n";
+    for (NetId pi : nl.pis()) os << "INPUT(" << nl.net(pi).name << ")\n";
+    for (NetId po : nl.pos()) os << "OUTPUT(" << nl.net(po).name << ")\n";
+    os << "\n";
+    for (GateId g = 0; g < nl.gateCount(); ++g) {
+        const Gate& gate = nl.gate(g);
+        os << nl.net(gate.output).name << " = " << fnToOp(gate.fn) << "(";
+        for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+            if (i) os << ", ";
+            os << nl.net(gate.inputs[i]).name;
+        }
+        os << ")\n";
+    }
+}
+
+std::string writeBenchString(const Netlist& nl) {
+    std::ostringstream os;
+    writeBench(os, nl);
+    return os.str();
+}
+
+} // namespace flh

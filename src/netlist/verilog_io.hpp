@@ -1,0 +1,32 @@
+// Structural Verilog export.
+//
+// Emits the netlist as a synthesizable gate-level module over a small
+// companion cell library (primitive gates + behavioral DFF/SDFF models),
+// and — when a DftDesign is supplied at the dft layer — the FLH supply
+// gating as per-gate wrapper instantiations. This is what a downstream
+// adopter tapes in: the logic untouched, the holding hardware explicit.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flh {
+
+struct VerilogOptions {
+    /// Gates to wrap in an FLH supply-gating cell (usually the unique
+    /// first-level gates); the wrapper adds TC/TC_B gating pins.
+    std::vector<GateId> flh_gated_gates;
+    /// Emit the companion primitive-cell definitions after the module.
+    bool emit_cell_models = true;
+};
+
+void writeVerilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opt = {});
+[[nodiscard]] std::string writeVerilogString(const Netlist& nl, const VerilogOptions& opt = {});
+
+/// Sanitize a net name into a Verilog identifier.
+[[nodiscard]] std::string verilogName(const std::string& name);
+
+} // namespace flh

@@ -1,0 +1,164 @@
+#include "power/power.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flh {
+
+namespace {
+
+// Energy of one rail-to-rail toggle of capacitance c_ff (femtojoules).
+double toggleEnergyFj(const Tech& t, double c_ff) { return 0.5 * c_ff * t.vdd * t.vdd; }
+
+// Convert accumulated energy (fJ) over n_cycles at Tech::freq_mhz to uW.
+double energyToUw(const Tech& t, double energy_fj, double n_cycles) {
+    if (n_cycles <= 0.0) return 0.0;
+    const double t_total_s = n_cycles / (t.freq_mhz * 1e6);
+    return energy_fj * 1e-15 / t_total_s * 1e6;
+}
+
+std::vector<PV> randomPv(std::size_t n, Rng& rng) {
+    std::vector<PV> v(n);
+    for (PV& p : v) p = PV{rng.next(), 0};
+    return v;
+}
+
+// 64-bit mask with each bit set independently with probability p.
+std::uint64_t bernoulliMask(Rng& rng, double p) {
+    if (p >= 1.0) return ~0ULL;
+    if (p <= 0.0) return 0;
+    std::uint64_t m = 0;
+    for (int i = 0; i < 64; ++i)
+        if (rng.chance(p)) m |= 1ULL << i;
+    return m;
+}
+
+} // namespace
+
+PowerResult measureNormalPower(const Netlist& nl, const PowerOverlay& ov,
+                               const PowerConfig& cfg) {
+    const Tech& t = nl.library().tech();
+    const Library& lib = nl.library();
+    Rng rng(cfg.seed);
+
+    SequentialSim seq(nl);
+    std::vector<PV> state = randomPv(nl.flipFlops().size(), rng);
+    std::vector<PV> pis = randomPv(nl.pis().size(), rng);
+    seq.setState(state);
+    seq.setPis(pis);
+    seq.settle();
+
+    PatternSim& sim = seq.sim();
+    sim.enableToggleCount(true);
+    sim.clearToggleCounts();
+
+    // Each pattern slot carries an independent random sequence, so one
+    // simulated vector yields 64 sampled vectors. PI bits toggle with
+    // pi_toggle_prob; FFs hold with ff_hold_prob (enable-gated registers).
+    for (int v = 0; v < cfg.n_vectors; ++v) {
+        for (PV& p : pis) p.v ^= bernoulliMask(rng, cfg.pi_toggle_prob);
+        seq.setPis(pis);
+        seq.settle();
+        std::vector<PV> next = state;
+        const auto& ffs = nl.flipFlops();
+        for (std::size_t i = 0; i < ffs.size(); ++i) {
+            const PV d = sim.get(nl.gate(ffs[i]).inputs[0]);
+            const std::uint64_t hold = bernoulliMask(rng, cfg.ff_hold_prob);
+            next[i] = PV{(state[i].v & hold) | (d.v & ~hold),
+                         (state[i].x & hold) | (d.x & ~hold)};
+        }
+        state = std::move(next);
+        seq.setState(state);
+        seq.settle();
+    }
+
+    const double sampled_cycles = static_cast<double>(cfg.n_vectors) * 64.0;
+
+    PowerResult res;
+    double energy_fj = 0.0;
+    const auto& toggles = sim.toggleCounts();
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        if (toggles[n] == 0) continue;
+        res.toggles += toggles[n];
+        double cap = nl.netCapFf(n) + ov.extraCap(n) + ov.extraSwitched(n);
+        // The driving cell's internal nodes switch with its output.
+        if (const GateId drv = nl.net(n).driver; drv != kInvalidId)
+            cap += lib.cell(nl.gate(drv).cell).c_internal_ff;
+        energy_fj += static_cast<double>(toggles[n]) * toggleEnergyFj(t, cap);
+    }
+    res.switching_uw = energyToUw(t, energy_fj, sampled_cycles);
+
+    // Clock power: every FF's internal clock nodes switch twice per cycle.
+    double clk_energy_per_cycle_fj = 0.0;
+    for (const GateId ff : nl.flipFlops())
+        clk_energy_per_cycle_fj += toggleEnergyFj(t, lib.cell(nl.gate(ff).cell).c_internal_ff);
+    res.clocking_uw = energyToUw(t, clk_energy_per_cycle_fj * sampled_cycles, sampled_cycles);
+
+    // Leakage. The sleep-pair stacking saving applies to *idle* gates
+    // ("active leakage reduction for the idle gates", Section III): a gate
+    // that switches every cycle spends its time conducting, not stacked off,
+    // so the saving is weighted by the gate's measured idleness.
+    double leak_nw = ov.extra_leak_nw;
+    for (GateId g = 0; g < nl.gateCount(); ++g) {
+        const double f = ov.leakFactor(g);
+        double eff = f;
+        if (f < 1.0) {
+            const double activity =
+                std::min(1.0, static_cast<double>(toggles[nl.gate(g).output]) / sampled_cycles);
+            eff = 1.0 - (1.0 - f) * (1.0 - activity);
+        }
+        leak_nw += lib.cell(nl.gate(g).cell).leakageNw(t) * eff;
+    }
+    res.leakage_uw = leak_nw * 1e-3;
+    return res;
+}
+
+ScanShiftPowerResult measureScanShiftPower(const Netlist& nl, HoldStyle style, int n_patterns,
+                                           std::uint64_t seed) {
+    const Tech& t = nl.library().tech();
+    Rng rng(seed);
+
+    SequentialSim seq(nl, style);
+    seq.setState(randomPv(nl.flipFlops().size(), rng));
+    seq.setPis(randomPv(nl.pis().size(), rng));
+    seq.settle();
+
+    PatternSim& sim = seq.sim();
+    sim.enableToggleCount(true);
+    sim.clearToggleCounts();
+
+    const std::size_t chain = nl.flipFlops().size();
+    seq.setHolding(true);
+    for (int p = 0; p < n_patterns; ++p)
+        for (std::size_t i = 0; i < chain; ++i) seq.shift(PV{rng.next(), 0});
+    // Stop counting before release: the single apply-pattern edge after a
+    // load is functional activity, not shift activity.
+    sim.enableToggleCount(false);
+    seq.setHolding(false);
+
+    const double shift_cycles = static_cast<double>(n_patterns) * static_cast<double>(chain) * 64.0;
+
+    ScanShiftPowerResult res;
+    double comb_fj = 0.0;
+    double ffq_fj = 0.0;
+    const auto& toggles = sim.toggleCounts();
+    std::vector<bool> is_ffq(nl.netCount(), false);
+    for (const GateId ff : nl.flipFlops()) is_ffq[nl.gate(ff).output] = true;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        if (toggles[n] == 0) continue;
+        const double e = static_cast<double>(toggles[n]) * toggleEnergyFj(t, nl.netCapFf(n));
+        if (is_ffq[n]) {
+            ffq_fj += e;
+        } else {
+            comb_fj += e;
+            res.comb_toggles += toggles[n];
+        }
+    }
+    res.comb_switching_uw = energyToUw(t, comb_fj, shift_cycles);
+    res.ffq_switching_uw = energyToUw(t, ffq_fj, shift_cycles);
+    return res;
+}
+
+} // namespace flh

@@ -1,0 +1,137 @@
+#include "sim/pattern_sim.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace flh {
+
+PatternSim::PatternSim(const Netlist& nl) : nl_(&nl) {
+    (void)nl_->topoOrder(); // force levelization (throws on comb loops)
+    reset();
+}
+
+void PatternSim::reset() {
+    values_.assign(nl_->netCount(), PV::all(Logic::X));
+    held_.assign(nl_->gateCount(), 0);
+    scheduled_.assign(nl_->gateCount(), 0);
+    queue_by_level_.assign(static_cast<std::size_t>(nl_->logicDepth()) + 1, {});
+    min_pending_level_ = 0;
+    fault_active_ = false;
+    toggles_.assign(nl_->netCount(), 0);
+}
+
+void PatternSim::schedule(GateId g) {
+    if (isSequential(nl_->gate(g).fn)) return;
+    if (scheduled_[g]) return;
+    scheduled_[g] = 1;
+    const int lvl = nl_->levels()[g];
+    queue_by_level_[static_cast<std::size_t>(lvl)].push_back(g);
+    if (lvl < min_pending_level_) min_pending_level_ = lvl;
+}
+
+void PatternSim::scheduleFanout(NetId net) {
+    for (const PinRef& pr : nl_->fanout(net)) schedule(pr.gate);
+}
+
+void PatternSim::applyValue(NetId net, PV value) {
+    if (fault_active_ && !fault_.isPinFault() && fault_.net == net)
+        value = PV::all(fault_.stuck_at_one ? Logic::One : Logic::Zero);
+    PV& cur = values_[net];
+    if (cur == value) return;
+    if (count_toggles_) {
+        const std::uint64_t flips = (cur.v ^ value.v) & ~cur.x & ~value.x;
+        toggles_[net] += static_cast<std::uint64_t>(std::popcount(flips));
+    }
+    cur = value;
+    scheduleFanout(net);
+}
+
+void PatternSim::setNet(NetId net, PV value) { applyValue(net, value); }
+
+std::size_t PatternSim::propagate() {
+    std::size_t evals = 0;
+    for (std::size_t lvl = static_cast<std::size_t>(std::max(min_pending_level_, 0));
+         lvl < queue_by_level_.size(); ++lvl) {
+        auto& q = queue_by_level_[lvl];
+        // Gates scheduled during this pass land at strictly higher levels,
+        // so draining level by level visits each gate at most once.
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const GateId g = q[i];
+            scheduled_[g] = 0;
+            if (held_[g]) continue;
+            const Gate& gate = nl_->gate(g);
+            PV ins[8];
+            assert(gate.inputs.size() <= 8);
+            for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+                PV v = values_[gate.inputs[p]];
+                if (fault_active_ && fault_.isPinFault() && fault_.gate == g &&
+                    fault_.pin == static_cast<int>(p))
+                    v = PV::all(fault_.stuck_at_one ? Logic::One : Logic::Zero);
+                ins[p] = v;
+            }
+            ++evals;
+            applyValue(gate.output, evalCell(gate.fn, {ins, gate.inputs.size()}));
+        }
+        q.clear();
+    }
+    min_pending_level_ = static_cast<int>(queue_by_level_.size());
+    return evals;
+}
+
+std::size_t PatternSim::evalAll() {
+    for (const GateId g : nl_->topoOrder()) schedule(g);
+    return propagate();
+}
+
+void PatternSim::setHeld(GateId gate, bool held) {
+    held_.at(gate) = held ? 1 : 0;
+    if (!held) schedule(gate); // re-evaluate with current inputs on release
+}
+
+void PatternSim::setHeldAll(const std::vector<GateId>& gates, bool held) {
+    for (GateId g : gates) setHeld(g, held);
+}
+
+void PatternSim::injectFault(const FaultSite& f) {
+    fault_active_ = true;
+    fault_ = f;
+    if (f.isPinFault()) {
+        schedule(f.gate);
+    } else {
+        // Force the stuck value at the net right away, remembering the good
+        // value so clearFault can restore nets without a combinational
+        // driver (primary inputs, flip-flop outputs).
+        pre_fault_value_ = values_[f.net];
+        applyValue(f.net, values_[f.net]); // applyValue overrides via fault
+    }
+}
+
+void PatternSim::clearFault() {
+    if (!fault_active_) return;
+    const FaultSite f = fault_;
+    fault_active_ = false;
+    // Recompute the affected region with the fault removed.
+    if (f.isPinFault()) {
+        schedule(f.gate);
+        return;
+    }
+    const GateId drv = nl_->net(f.net).driver;
+    if (drv != kInvalidId && !isSequential(nl_->gate(drv).fn)) {
+        schedule(drv); // the driver recomputes the good value
+    } else {
+        // Source net (PI or FF output): restore the saved good value.
+        applyValue(f.net, pre_fault_value_);
+    }
+}
+
+void PatternSim::enableToggleCount(bool on) { count_toggles_ = on; }
+
+void PatternSim::clearToggleCounts() { toggles_.assign(nl_->netCount(), 0); }
+
+std::uint64_t PatternSim::totalToggles() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t t : toggles_) sum += t;
+    return sum;
+}
+
+} // namespace flh

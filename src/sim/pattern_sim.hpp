@@ -1,0 +1,106 @@
+// Levelized event-driven logic simulator, 64 patterns wide.
+//
+// The simulator evaluates 64 three-valued patterns per pass (PPSFP-style).
+// It is the shared engine for:
+//  * normal-mode power analysis (toggle counting over random vectors),
+//  * parallel-pattern fault simulation (single-fault injection + event-driven
+//    propagation from the fault site),
+//  * scan-shift simulation with the paper's holding semantics (held gates
+//    simply do not re-evaluate, exactly what FLH's supply gating does), and
+//  * ATPG implication (one pattern per word, X-aware).
+//
+// Only gates whose inputs actually changed are re-evaluated, processed in
+// level order, so a pass costs O(affected gates).
+#pragma once
+
+#include "cell/logic.hpp"
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace flh {
+
+/// A single stuck-at fault site: a net (output fault) or one gate input pin
+/// (input fault). `pin < 0` means the fault is on the net itself.
+struct FaultSite {
+    NetId net = kInvalidId;
+    GateId gate = kInvalidId; ///< receiving gate for pin faults
+    int pin = -1;
+    bool stuck_at_one = false;
+
+    [[nodiscard]] bool isPinFault() const noexcept { return pin >= 0; }
+    [[nodiscard]] bool operator==(const FaultSite&) const noexcept = default;
+};
+
+class PatternSim {
+public:
+    explicit PatternSim(const Netlist& nl);
+
+    [[nodiscard]] const Netlist& netlist() const noexcept { return *nl_; }
+
+    /// Reset every net to X, clear holds/faults/toggle counts.
+    void reset();
+
+    /// Set a source net (PI or FF output) and schedule affected gates.
+    /// Setting an internal net is allowed (used for fault injection tests)
+    /// but will be overwritten by its driver on the next propagate unless
+    /// the driver is held.
+    void setNet(NetId net, PV value);
+
+    [[nodiscard]] PV get(NetId net) const { return values_.at(net); }
+
+    /// Propagate all pending events in level order. Returns the number of
+    /// gate evaluations performed.
+    std::size_t propagate();
+
+    /// Full evaluation: schedule every combinational gate, then propagate.
+    std::size_t evalAll();
+
+    // ---- holding (FLH supply gating / enhanced-scan freeze) -------------
+    /// A held gate keeps its current output: it is never re-evaluated while
+    /// held. This is the simulator-level model of a supply-gated first-level
+    /// gate whose keeper retains the output state.
+    void setHeld(GateId gate, bool held);
+    void setHeldAll(const std::vector<GateId>& gates, bool held);
+    [[nodiscard]] bool isHeld(GateId gate) const { return held_.at(gate) != 0; }
+
+    // ---- single-fault injection (PPSFP) ---------------------------------
+    /// Activate a stuck-at fault for subsequent propagation. Pass
+    /// std::nullopt semantics via clearFault(). The fault applies to all 64
+    /// pattern slots.
+    void injectFault(const FaultSite& f);
+    void clearFault();
+
+    // ---- toggle accounting ----------------------------------------------
+    /// When enabled, every known-value bit flip on a net is counted
+    /// (per-net, summed over pattern slots).
+    void enableToggleCount(bool on);
+    void clearToggleCounts();
+    [[nodiscard]] const std::vector<std::uint64_t>& toggleCounts() const noexcept {
+        return toggles_;
+    }
+    [[nodiscard]] std::uint64_t totalToggles() const noexcept;
+
+private:
+    void schedule(GateId g);
+    void scheduleFanout(NetId net);
+    void applyValue(NetId net, PV value);
+    [[nodiscard]] PV faultyInputValue(GateId g, int pin, PV v) const noexcept;
+
+    const Netlist* nl_;
+    std::vector<PV> values_;
+    std::vector<std::uint8_t> held_;
+    std::vector<std::uint8_t> scheduled_;
+    std::vector<std::vector<GateId>> queue_by_level_; ///< index: level
+    int min_pending_level_ = 0;
+
+    bool fault_active_ = false;
+    FaultSite fault_{};
+    PV pre_fault_value_{}; ///< net faults: value to restore on clearFault
+
+    bool count_toggles_ = false;
+    std::vector<std::uint64_t> toggles_;
+};
+
+} // namespace flh

@@ -1,0 +1,39 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace flh {
+
+std::string_view trim(std::string_view s) noexcept {
+    const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && is_space(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && is_space(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string> splitTrim(std::string_view s, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            const std::string_view piece = trim(s.substr(start, i - start));
+            if (!piece.empty()) out.emplace_back(piece);
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string toUpper(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) noexcept {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+} // namespace flh

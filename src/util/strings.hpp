@@ -1,0 +1,22 @@
+// Small string utilities shared across parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flh {
+
+/// Remove leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; elements are trimmed, empties dropped.
+[[nodiscard]] std::vector<std::string> splitTrim(std::string_view s, char delim);
+
+/// ASCII upper-case copy.
+[[nodiscard]] std::string toUpper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix) noexcept;
+
+} // namespace flh

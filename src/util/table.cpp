@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace flh {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(Row{std::move(cells), pending_rule_});
+    pending_rule_ = false;
+}
+
+void TextTable::addRule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const Row& r : rows_)
+        for (std::size_t c = 0; c < r.cells.size(); ++c)
+            width[c] = std::max(width[c], r.cells[c].size());
+
+    const auto rule = [&] {
+        std::string s = "+";
+        for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    }();
+
+    const auto line = [&](const std::vector<std::string>& cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string{};
+            s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::string out = rule + line(header_) + rule;
+    for (const Row& r : rows_) {
+        if (r.rule_before) out += rule;
+        out += line(r.cells);
+    }
+    out += rule;
+    return out;
+}
+
+std::string fmt(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string fmtPct(double fraction, int decimals) {
+    return fmt(fraction * 100.0, decimals);
+}
+
+void writeCsv(std::ostream& os, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+    const auto emit = [&os](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    emit(header);
+    for (const auto& r : rows) emit(r);
+}
+
+} // namespace flh

@@ -1,0 +1,54 @@
+// Plain-text table rendering for experiment reports.
+//
+// Every bench binary in this repository reproduces one of the paper's tables
+// or figures; TextTable renders them with aligned columns in the style of the
+// paper's own tables, and writeCsv exports machine-readable copies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flh {
+
+/// Column-aligned ASCII table.
+///
+/// Usage:
+///   TextTable t({"Ckt", "# Flip-flops", "FLH %"});
+///   t.addRow({"s838", "32", "4.1"});
+///   std::cout << t.render();
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /// Append a horizontal separator line before the next row.
+    void addRule();
+
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule_before = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+    bool pending_rule_ = false;
+};
+
+/// Format a double with the given number of decimals (fixed notation).
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+/// Format a percentage such as "12.3" (no % sign, matching the paper tables).
+[[nodiscard]] std::string fmtPct(double fraction, int decimals = 2);
+
+/// Write rows as CSV (no quoting of embedded commas; callers control content).
+void writeCsv(std::ostream& os, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+} // namespace flh

@@ -1,0 +1,112 @@
+#include "variation/variation.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flh {
+
+namespace {
+
+/// Standard normal via Box-Muller.
+double gaussian(Rng& rng) {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+std::vector<double> sampleDie(const Netlist& nl, const VariationModel& m,
+                              std::uint64_t die_index) {
+    Rng rng(m.seed ^ (die_index * 0x9E3779B97F4A7C15ULL + 0x1234));
+    const double die_factor = 1.0 + gaussian(rng) * m.sigma_die_pct / 100.0;
+    std::vector<double> f(nl.gateCount(), 1.0);
+    for (GateId g = 0; g < nl.gateCount(); ++g) {
+        const double local = 1.0 + gaussian(rng) * m.sigma_gate_pct / 100.0;
+        f[g] = std::max(0.3, die_factor * local);
+    }
+    return f;
+}
+
+double MonteCarloResult::meanPs() const {
+    double s = 0.0;
+    for (const double d : delay_ps) s += d;
+    return delay_ps.empty() ? 0.0 : s / static_cast<double>(delay_ps.size());
+}
+
+double MonteCarloResult::sigmaPs() const {
+    if (delay_ps.size() < 2) return 0.0;
+    const double mu = meanPs();
+    double s = 0.0;
+    for (const double d : delay_ps) s += (d - mu) * (d - mu);
+    return std::sqrt(s / static_cast<double>(delay_ps.size() - 1));
+}
+
+double MonteCarloResult::timingYieldPct(double clock_ps) const {
+    if (delay_ps.empty()) return 0.0;
+    std::size_t ok = 0;
+    for (const double d : delay_ps)
+        if (d <= clock_ps) ++ok;
+    return 100.0 * static_cast<double>(ok) / static_cast<double>(delay_ps.size());
+}
+
+double MonteCarloResult::clockForYieldPs(double yield_pct) const {
+    if (delay_ps.empty()) return 0.0;
+    std::vector<double> sorted = delay_ps;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                         std::ceil(yield_pct / 100.0 * static_cast<double>(sorted.size())) - 1.0));
+    return sorted[std::max<std::size_t>(idx, 0)];
+}
+
+MonteCarloResult runTimingMonteCarlo(const Netlist& nl, const TimingOverlay& ov,
+                                     const VariationModel& m, int n_dies) {
+    MonteCarloResult res;
+    res.nominal_ps = runSta(nl, ov).critical_delay_ps;
+    res.delay_ps.reserve(static_cast<std::size_t>(n_dies));
+    res.worst_gate.reserve(static_cast<std::size_t>(n_dies));
+    for (int die = 0; die < n_dies; ++die) {
+        const auto f = sampleDie(nl, m, static_cast<std::uint64_t>(die));
+        const TimingResult sta = runSta(nl, ov, f);
+        res.delay_ps.push_back(sta.critical_delay_ps);
+        // Dominant slow gate: the on-critical-path gate with the largest
+        // sampled slowdown (the die's most natural transition-fault site).
+        GateId worst = kInvalidId;
+        double worst_factor = 0.0;
+        for (const NetId n : sta.critical_path) {
+            const GateId drv = nl.net(n).driver;
+            if (drv == kInvalidId || isSequential(nl.gate(drv).fn)) continue;
+            if (f[drv] > worst_factor) {
+                worst_factor = f[drv];
+                worst = drv;
+            }
+        }
+        res.worst_gate.push_back(worst);
+    }
+    return res;
+}
+
+EscapeAnalysis analyzeEscapes(const Netlist& nl, const MonteCarloResult& mc, double clock_ps,
+                              const std::vector<bool>& covered_mask) {
+    // Map: transition fault index for (net, rise/fall) follows the layout
+    // of allTransitionFaults: 2 faults per net, SlowToRise first.
+    EscapeAnalysis ea;
+    for (std::size_t die = 0; die < mc.delay_ps.size(); ++die) {
+        if (mc.delay_ps[die] <= clock_ps) continue;
+        ++ea.failing_dies;
+        const GateId g = mc.worst_gate[die];
+        if (g == kInvalidId) continue;
+        const NetId out = nl.gate(g).output;
+        const std::size_t idx_rise = 2 * static_cast<std::size_t>(out);
+        // A slow gate delays both transitions; catching either suffices.
+        if (idx_rise + 1 < covered_mask.size() &&
+            (covered_mask[idx_rise] || covered_mask[idx_rise + 1]))
+            ++ea.caught;
+    }
+    return ea;
+}
+
+} // namespace flh

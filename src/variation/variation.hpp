@@ -1,0 +1,69 @@
+// Process-variation Monte Carlo: the paper's opening motivation made
+// quantitative.
+//
+// "An emerging cause of delay failure is the uncertainty in circuit design
+// due to process fluctuations ... With growing impact of process variation
+// in sub-100nm technology regime, designers face more uncertainty and delay
+// faults become more likely. Therefore, it is becoming mandatory for
+// manufacturing test to include delay testing along with stuck-at tests."
+//
+// Each Monte Carlo sample is one die: every gate's delay is scaled by a
+// lognormal-ish factor combining a die-wide (systematic) component and a
+// per-gate (random) component. STA over the sampled factors gives that
+// die's true critical delay; comparing against the shipping clock yields
+// the timing-yield curve, the delay-fault incidence, and the escape rate of
+// a test applied at a given test clock.
+#pragma once
+
+#include "fault/faults.hpp"
+#include "sta/timing.hpp"
+
+#include <vector>
+
+namespace flh {
+
+struct VariationModel {
+    double sigma_die_pct = 5.0;   ///< die-to-die (systematic) sigma, % of nominal
+    double sigma_gate_pct = 8.0;  ///< within-die per-gate (random) sigma
+    std::uint64_t seed = 2005;
+};
+
+/// Per-gate delay multipliers for one sampled die.
+[[nodiscard]] std::vector<double> sampleDie(const Netlist& nl, const VariationModel& m,
+                                            std::uint64_t die_index);
+
+struct MonteCarloResult {
+    double nominal_ps = 0.0;
+    std::vector<double> delay_ps; ///< per sampled die, critical delay
+    /// Gate whose sampled slowdown dominates each die's critical path
+    /// (the natural site of that die's transition fault).
+    std::vector<GateId> worst_gate;
+
+    [[nodiscard]] double meanPs() const;
+    [[nodiscard]] double sigmaPs() const;
+    /// Fraction of dies whose critical delay fits within `clock_ps`.
+    [[nodiscard]] double timingYieldPct(double clock_ps) const;
+    /// Smallest clock achieving the given yield (e.g. 99%).
+    [[nodiscard]] double clockForYieldPs(double yield_pct) const;
+};
+
+/// Run the Monte Carlo: n_dies sampled STAs under the given DFT overlay.
+[[nodiscard]] MonteCarloResult runTimingMonteCarlo(const Netlist& nl, const TimingOverlay& ov,
+                                                   const VariationModel& m, int n_dies);
+
+/// Delay-test escape analysis: of the dies failing the shipping clock, how
+/// many carry a slow gate whose transition fault the given test set covers?
+/// (covered_mask aligned with allTransitionFaults(nl)).
+struct EscapeAnalysis {
+    int failing_dies = 0;
+    int caught = 0; ///< failing dies whose dominant slow-gate fault is covered
+
+    [[nodiscard]] double catchRatePct() const {
+        return failing_dies ? 100.0 * caught / failing_dies : 100.0;
+    }
+};
+[[nodiscard]] EscapeAnalysis analyzeEscapes(const Netlist& nl, const MonteCarloResult& mc,
+                                            double clock_ps,
+                                            const std::vector<bool>& covered_mask);
+
+} // namespace flh

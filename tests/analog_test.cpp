@@ -1,0 +1,172 @@
+#include "analog/flh_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flh {
+namespace {
+
+const Tech& tech() { return defaultTech(); }
+
+TEST(MosModel, RegionsBehave) {
+    const MosModel n = nmosModel(tech());
+    // Off: tiny subthreshold current, increasing with vgs.
+    const double off0 = n.currentUa(0.0, 1.0, 1.0);
+    const double off1 = n.currentUa(0.1, 1.0, 1.0);
+    EXPECT_GT(off0, 0.0);
+    EXPECT_LT(off0, 0.1); // well under a microamp
+    EXPECT_GT(off1, off0);
+    // On, saturation vs linear.
+    const double sat = n.currentUa(1.0, 1.0, 1.0);
+    const double lin = n.currentUa(1.0, 0.05, 1.0);
+    EXPECT_GT(sat, 10.0);
+    EXPECT_GT(sat, lin);
+    // Width scaling.
+    EXPECT_NEAR(n.currentUa(1.0, 1.0, 2.0), 2.0 * sat, 1e-9);
+}
+
+TEST(MosModel, OffCurrentMatchesTechCalibration) {
+    const MosModel n = nmosModel(tech());
+    // At vgs = 0 and large vds the subthreshold current must equal the
+    // Tech's i_off (the same number the digital leakage model uses).
+    const double i_off_ua = tech().offCurrentNa(1.0) * 1e-3;
+    EXPECT_NEAR(n.currentUa(0.0, 1.0, 1.0), i_off_ua, i_off_ua * 0.05);
+}
+
+TEST(Analog, InverterSwitches) {
+    // Single inverter: output tracks inverted input.
+    AnalogCircuit c(tech());
+    const NodeId vdd = c.addRail("VDD", tech().vdd);
+    const NodeId gnd = c.addRail("GND", 0.0);
+    const NodeId in = c.addSource("IN", [](double t) { return t < 500.0 ? 0.0 : 1.0; });
+    const NodeId out = c.addNode("OUT", 3.0);
+    c.addMos(true, in, vdd, out, 2.0);
+    c.addMos(false, in, gnd, out, 1.0);
+    c.setInitialVoltage(out, tech().vdd);
+
+    const auto tr = c.run(1500.0, 0.5, {{"OUT", false, out}}, 20);
+    const auto& v = tr.trace("OUT");
+    EXPECT_GT(v.front(), 0.9);
+    EXPECT_LT(v.back(), 0.1);
+}
+
+TEST(Analog, UngatedChainPropagates) {
+    ChainConfig cfg;
+    cfg.sleep_w = 0.0; // no gating
+    GatedChain chain = buildGatedInverterChain(
+        tech(), cfg, [](double t) { return t < 1000.0 ? 0.0 : 1.0; }, [](double) { return 0.0; });
+    const auto tr = chain.ckt.run(4000.0, 0.5,
+                                  {{"OUT1", false, chain.outs[0]},
+                                   {"OUT2", false, chain.outs[1]},
+                                   {"OUT3", false, chain.outs[2]}},
+                                  20);
+    // After the input rises, OUT1 falls, OUT2 rises, OUT3 falls.
+    EXPECT_LT(tr.trace("OUT1").back(), 0.1);
+    EXPECT_GT(tr.trace("OUT2").back(), 0.9);
+    EXPECT_LT(tr.trace("OUT3").back(), 0.1);
+}
+
+TEST(Analog, Fig2FloatingNodeDecaysBelow600mV) {
+    // The paper's Fig. 2 observation: with gating on (no keeper) and the
+    // input switching high in sleep mode, OUT1's held charge leaks away,
+    // falling below 600 mV in under ~100 ns.
+    ChainConfig cfg; // keeper off
+    GatedChain chain = buildGatedInverterChain(
+        tech(), cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return t < 1000.0 ? 0.0 : 1.0; });
+    const auto tr =
+        chain.ckt.run(200000.0, 1.0, {{"OUT1", false, chain.outs[0]}}, 100);
+    const auto& v = tr.trace("OUT1");
+    // Initially held high...
+    EXPECT_GT(v.front(), 0.9);
+    // ...but below 600 mV well before the end of the 200 ns window.
+    double t_cross = -1.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] < 0.6) {
+            t_cross = tr.time_ps[i];
+            break;
+        }
+    }
+    ASSERT_GT(t_cross, 0.0) << "node never decayed";
+    EXPECT_LT(t_cross, 150000.0); // < 150 ns (paper: < 100 ns at 70 nm BPTM)
+}
+
+TEST(Analog, Fig2DownstreamShortCircuitCurrent) {
+    // As OUT1 drifts toward mid-rail, stage 2 conducts crowbar current.
+    ChainConfig cfg;
+    GatedChain chain = buildGatedInverterChain(
+        tech(), cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return t < 1000.0 ? 0.0 : 1.0; });
+    const auto tr = chain.ckt.run(
+        200000.0, 1.0,
+        {{"OUT1", false, chain.outs[0]}, {"Idd2", true, static_cast<std::uint32_t>(chain.pmos_devs[1])}},
+        100);
+    const auto& idd2 = tr.trace("Idd2");
+    const auto& out1 = tr.trace("OUT1");
+    // Short-circuit current when OUT1 sits mid-rail must far exceed the
+    // initial (fully-held) leakage level.
+    double early = idd2[2];
+    double worst = 0.0;
+    for (std::size_t i = 0; i < idd2.size(); ++i)
+        if (out1[i] < 0.7 && out1[i] > 0.3) worst = std::max(worst, idd2[i]);
+    EXPECT_GT(worst, 10.0 * (early + 1e-6));
+}
+
+TEST(Analog, Fig4KeeperHoldsState) {
+    // With the keeper enabled in sleep mode, OUT1..OUT3 hold despite the
+    // input switching (paper Fig. 4).
+    ChainConfig cfg;
+    cfg.with_keeper = true;
+    GatedChain chain = buildGatedInverterChain(
+        tech(), cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return t < 1000.0 ? 0.0 : 1.0; });
+    const auto tr = chain.ckt.run(200000.0, 1.0,
+                                  {{"OUT1", false, chain.outs[0]},
+                                   {"OUT2", false, chain.outs[1]},
+                                   {"OUT3", false, chain.outs[2]}},
+                                  100);
+    EXPECT_GT(tr.trace("OUT1").back(), 0.9);
+    EXPECT_LT(tr.trace("OUT2").back(), 0.1);
+    EXPECT_GT(tr.trace("OUT3").back(), 0.9);
+}
+
+TEST(Analog, KeeperReleasesInNormalMode) {
+    // When sleep de-asserts, the stage drives its output again and the
+    // keeper (loop broken) must not fight the new value.
+    ChainConfig cfg;
+    cfg.with_keeper = true;
+    GatedChain chain = buildGatedInverterChain(
+        tech(), cfg, [](double t) { return t < 2000.0 ? 0.0 : 1.0; },
+        [](double t) { return (t > 1000.0 && t < 50000.0) ? 1.0 : 0.0; });
+    const auto tr = chain.ckt.run(80000.0, 1.0, {{"OUT1", false, chain.outs[0]}}, 100);
+    // After release (t > 50 ns) with IN = 1, OUT1 must go low.
+    EXPECT_LT(tr.trace("OUT1").back(), 0.1);
+}
+
+TEST(Analog, GatedDelayPenaltyIsModest) {
+    // Cross-check the Tech::virtual_rail_factor calibration: the gated
+    // stage's propagation delay should exceed the ungated one's by a
+    // bounded factor, not by the raw series-resistance worst case.
+    const auto measureDelay = [&](double sleep_w) {
+        ChainConfig cfg;
+        cfg.sleep_w = sleep_w;
+        GatedChain chain = buildGatedInverterChain(
+            tech(), cfg, [](double t) { return t < 500.0 ? 0.0 : 1.0; },
+            [](double) { return 0.0; }); // normal mode: gating transistors ON
+        const auto tr = chain.ckt.run(3000.0, 0.25, {{"OUT1", false, chain.outs[0]}}, 4);
+        const auto& v = tr.trace("OUT1");
+        for (std::size_t i = 0; i < v.size(); ++i)
+            if (tr.time_ps[i] > 500.0 && v[i] < 0.5) return tr.time_ps[i] - 500.0;
+        return -1.0;
+    };
+    const double d_gated = measureDelay(2.0);
+    const double d_plain = measureDelay(0.0);
+    ASSERT_GT(d_plain, 0.0);
+    ASSERT_GT(d_gated, 0.0);
+    EXPECT_GT(d_gated, d_plain);
+    EXPECT_LT(d_gated, 1.8 * d_plain);
+}
+
+} // namespace
+} // namespace flh

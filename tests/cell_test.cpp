@@ -1,0 +1,278 @@
+#include "cell/cells.hpp"
+#include "cell/dft_cells.hpp"
+#include "cell/logic.hpp"
+#include "cell/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+TEST(Library, HasExpectedCells) {
+    EXPECT_TRUE(lib().has(CellFn::Inv, 1));
+    EXPECT_TRUE(lib().has(CellFn::Buf, 1));
+    for (int n = 2; n <= 4; ++n) {
+        EXPECT_TRUE(lib().has(CellFn::Nand, n));
+        EXPECT_TRUE(lib().has(CellFn::Nor, n));
+        EXPECT_TRUE(lib().has(CellFn::And, n));
+        EXPECT_TRUE(lib().has(CellFn::Or, n));
+    }
+    EXPECT_TRUE(lib().has(CellFn::Xor, 2));
+    EXPECT_TRUE(lib().has(CellFn::Aoi21, 3));
+    EXPECT_TRUE(lib().has(CellFn::Oai22, 4));
+    EXPECT_TRUE(lib().has(CellFn::Mux2, 3));
+    EXPECT_TRUE(lib().has(CellFn::Dff, 1));
+    EXPECT_TRUE(lib().has(CellFn::Sdff, 3));
+}
+
+TEST(Library, FindUnknownThrows) {
+    EXPECT_THROW((void)lib().find(CellFn::Nand, 7), std::out_of_range);
+    EXPECT_THROW((void)lib().findByName("BOGUS"), std::out_of_range);
+}
+
+TEST(Library, DuplicateNameRejected) {
+    Library l(defaultTech());
+    Cell c;
+    c.name = "X";
+    l.add(c);
+    EXPECT_THROW(l.add(c), std::invalid_argument);
+}
+
+TEST(Cells, AreaPositiveAndMonotoneWithArity) {
+    const Tech& t = defaultTech();
+    const double a2 = lib().cell(lib().find(CellFn::Nand, 2)).areaUm2(t);
+    const double a3 = lib().cell(lib().find(CellFn::Nand, 3)).areaUm2(t);
+    const double a4 = lib().cell(lib().find(CellFn::Nand, 4)).areaUm2(t);
+    EXPECT_GT(a2, 0.0);
+    EXPECT_LT(a2, a3);
+    EXPECT_LT(a3, a4);
+}
+
+TEST(Cells, DffBiggerThanLogicGates) {
+    const Tech& t = defaultTech();
+    const double dff = lib().cell(lib().find(CellFn::Dff, 1)).areaUm2(t);
+    const double sdff = lib().cell(lib().find(CellFn::Sdff, 3)).areaUm2(t);
+    const double nand2 = lib().cell(lib().find(CellFn::Nand, 2)).areaUm2(t);
+    EXPECT_GT(dff, 2.0 * nand2);
+    EXPECT_GT(sdff, dff); // scan mux costs area
+}
+
+TEST(Cells, PinCapsPositive) {
+    const Tech& t = defaultTech();
+    const Cell& nand2 = lib().cell(lib().find(CellFn::Nand, 2));
+    EXPECT_GT(nand2.pinCapFf(t, 0), 0.0);
+    EXPECT_GT(nand2.pinCapFf(t, 1), 0.0);
+    EXPECT_EQ(nand2.pinCapFf(t, 5), 0.0); // nonexistent pin carries no cap
+}
+
+TEST(Cells, InverterFo4DelayIsPlausible) {
+    // Sanity-check the delay data: an FO4 inverter delay at 70 nm should be
+    // in the tens of picoseconds.
+    const Tech& t = defaultTech();
+    const Cell& inv = lib().cell(lib().findByName("NOT1"));
+    const double load = 4.0 * inv.pinCapFf(t, 0);
+    const double d = inv.r_out_kohm * (load + inv.outputParasiticFf(t));
+    EXPECT_GT(d, 5.0);
+    EXPECT_LT(d, 100.0);
+}
+
+TEST(Cells, LeakagePositive) {
+    const Tech& t = defaultTech();
+    for (CellId i = 0; i < lib().size(); ++i) EXPECT_GT(lib().cell(i).leakageNw(t), 0.0);
+}
+
+// ---------------------------------------------------------------- logic ----
+
+TEST(Logic, PvAllRoundTrip) {
+    for (Logic l : {Logic::Zero, Logic::One, Logic::X}) {
+        const PV p = PV::all(l);
+        for (unsigned i : {0u, 31u, 63u}) EXPECT_EQ(p.get(i), l);
+    }
+}
+
+TEST(Logic, SetGet) {
+    PV p;
+    p.set(5, Logic::One);
+    p.set(6, Logic::X);
+    EXPECT_EQ(p.get(5), Logic::One);
+    EXPECT_EQ(p.get(6), Logic::X);
+    EXPECT_EQ(p.get(7), Logic::Zero);
+    p.set(6, Logic::Zero);
+    EXPECT_EQ(p.get(6), Logic::Zero);
+}
+
+Logic scalarOp(CellFn fn, std::initializer_list<Logic> ins) {
+    std::vector<Logic> v(ins);
+    return evalCellScalar(fn, v);
+}
+
+TEST(Logic, KleeneAnd) {
+    EXPECT_EQ(scalarOp(CellFn::And, {Logic::Zero, Logic::X}), Logic::Zero);
+    EXPECT_EQ(scalarOp(CellFn::And, {Logic::One, Logic::X}), Logic::X);
+    EXPECT_EQ(scalarOp(CellFn::And, {Logic::One, Logic::One}), Logic::One);
+}
+
+TEST(Logic, KleeneOr) {
+    EXPECT_EQ(scalarOp(CellFn::Or, {Logic::One, Logic::X}), Logic::One);
+    EXPECT_EQ(scalarOp(CellFn::Or, {Logic::Zero, Logic::X}), Logic::X);
+    EXPECT_EQ(scalarOp(CellFn::Or, {Logic::Zero, Logic::Zero}), Logic::Zero);
+}
+
+TEST(Logic, KleeneXor) {
+    EXPECT_EQ(scalarOp(CellFn::Xor, {Logic::One, Logic::X}), Logic::X);
+    EXPECT_EQ(scalarOp(CellFn::Xor, {Logic::One, Logic::Zero}), Logic::One);
+    EXPECT_EQ(scalarOp(CellFn::Xnor, {Logic::One, Logic::One}), Logic::One);
+}
+
+TEST(Logic, MuxKnownSelect) {
+    EXPECT_EQ(scalarOp(CellFn::Mux2, {Logic::Zero, Logic::One, Logic::Zero}), Logic::Zero);
+    EXPECT_EQ(scalarOp(CellFn::Mux2, {Logic::Zero, Logic::One, Logic::One}), Logic::One);
+}
+
+TEST(Logic, MuxUnknownSelectAgreeingData) {
+    EXPECT_EQ(scalarOp(CellFn::Mux2, {Logic::One, Logic::One, Logic::X}), Logic::One);
+    EXPECT_EQ(scalarOp(CellFn::Mux2, {Logic::Zero, Logic::Zero, Logic::X}), Logic::Zero);
+    EXPECT_EQ(scalarOp(CellFn::Mux2, {Logic::Zero, Logic::One, Logic::X}), Logic::X);
+}
+
+TEST(Logic, ComplexGates) {
+    // AOI21 = !((a&b)|c)
+    EXPECT_EQ(scalarOp(CellFn::Aoi21, {Logic::One, Logic::One, Logic::Zero}), Logic::Zero);
+    EXPECT_EQ(scalarOp(CellFn::Aoi21, {Logic::Zero, Logic::X, Logic::Zero}), Logic::One);
+    // OAI22 = !((a|b)&(c|d))
+    EXPECT_EQ(scalarOp(CellFn::Oai22, {Logic::Zero, Logic::Zero, Logic::One, Logic::One}),
+              Logic::One);
+    EXPECT_EQ(scalarOp(CellFn::Oai22, {Logic::One, Logic::X, Logic::One, Logic::Zero}),
+              Logic::Zero);
+}
+
+// Property: for fully-known inputs, evalCell (Kleene) must agree with the
+// two-valued fast path on every cell function and input combination.
+class LogicExhaustive : public ::testing::TestWithParam<CellFn> {};
+
+TEST_P(LogicExhaustive, PackedMatchesTwoValued) {
+    const CellFn fn = GetParam();
+    int arity = 2;
+    switch (fn) {
+        case CellFn::Buf:
+        case CellFn::Inv: arity = 1; break;
+        case CellFn::Aoi21:
+        case CellFn::Oai21:
+        case CellFn::Mux2: arity = 3; break;
+        case CellFn::Aoi22:
+        case CellFn::Oai22: arity = 4; break;
+        default: arity = 2; break;
+    }
+    const int combos = 1 << arity;
+    std::vector<PV> pv(static_cast<std::size_t>(arity));
+    std::vector<std::uint64_t> two(static_cast<std::size_t>(arity));
+    // Pack all input combinations into the 64 slots.
+    for (int i = 0; i < arity; ++i) {
+        std::uint64_t plane = 0;
+        for (int c = 0; c < combos; ++c)
+            if (c & (1 << i)) plane |= 1ULL << c;
+        pv[static_cast<std::size_t>(i)] = PV{plane, 0};
+        two[static_cast<std::size_t>(i)] = plane;
+    }
+    const PV r = evalCell(fn, pv);
+    const std::uint64_t r2 = evalCell2(fn, two);
+    const std::uint64_t mask = combos == 64 ? ~0ULL : ((1ULL << combos) - 1);
+    EXPECT_EQ(r.x & mask, 0u) << "known inputs must give known output";
+    EXPECT_EQ(r.v & mask, r2 & mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFns, LogicExhaustive,
+                         ::testing::Values(CellFn::Buf, CellFn::Inv, CellFn::And, CellFn::Nand,
+                                           CellFn::Or, CellFn::Nor, CellFn::Xor, CellFn::Xnor,
+                                           CellFn::Aoi21, CellFn::Aoi22, CellFn::Oai21,
+                                           CellFn::Oai22, CellFn::Mux2));
+
+// ------------------------------------------------------------- DFT cells ----
+
+TEST(DftCells, AreaOrderingMatchesPaper) {
+    // Per scan flip-flop: enhanced-scan latch > MUX-hold; FLH hardware per
+    // first-level gate is the smallest unit (Table I rests on this).
+    const Tech& t = defaultTech();
+    const HoldLatchSpec latch;
+    const MuxHoldSpec mux;
+    const FlhGatingSpec flh;
+    EXPECT_GT(latch.areaUm2(t), mux.areaUm2(t) * 0.95);
+    EXPECT_LT(flh.areaUm2(t), mux.areaUm2(t));
+    EXPECT_LT(flh.areaUm2(t), latch.areaUm2(t));
+}
+
+TEST(DftCells, FlhAvgPerFfBeatsLatch) {
+    // At the paper's average of 1.8 unique first-level gates per FF, FLH
+    // area per FF must undercut the enhanced-scan latch by roughly a third.
+    const Tech& t = defaultTech();
+    const double flh_per_ff = 1.8 * FlhGatingSpec{}.areaUm2(t);
+    const double latch = HoldLatchSpec{}.areaUm2(t);
+    EXPECT_LT(flh_per_ff, latch);
+    const double improvement = (latch - flh_per_ff) / latch;
+    EXPECT_GT(improvement, 0.15);
+    EXPECT_LT(improvement, 0.55);
+}
+
+TEST(DftCells, FlhWorstCaseAtHighFanoutRatio) {
+    // s838 has ratio 3.0; there FLH should cost more area than the latch
+    // ("the area overhead in the FLH technique can be more than the others").
+    // 1.2 is the netlists' average gated-gate drive (proportional sizing).
+    const Tech& t = defaultTech();
+    EXPECT_GT(3.0 * FlhGatingSpec{}.areaUm2(t, 1.2), HoldLatchSpec{}.areaUm2(t));
+}
+
+TEST(DftCells, DelayOrderingMatchesPaper) {
+    // Series stimulus-path delay: MUX > latch; both far above the FLH
+    // degradation of a single first-level gate.
+    const Tech& t = defaultTech();
+    const double load = 5.0; // fF, a typical first-level fanout load
+    const double d_latch = HoldLatchSpec{}.seriesDelayPs(t, load);
+    const double d_mux = MuxHoldSpec{}.seriesDelayPs(t, load);
+    EXPECT_GT(d_mux, d_latch);
+    const double d_flh = FlhGatingSpec{}.addedDelayPs(t, t.r_on_n_kohm, load);
+    EXPECT_LT(d_flh, d_latch);
+    // The paper reports ~71% average reduction in delay overhead vs
+    // enhanced scan; the cell-level ratio must make that reachable.
+    EXPECT_LT(d_flh / d_latch, 0.45);
+    EXPECT_GT(d_flh / d_latch, 0.10);
+}
+
+TEST(DftCells, SleepSizingTradeoff) {
+    // Upsizing the sleep pair cuts series resistance but costs area.
+    const Tech& t = defaultTech();
+    FlhGatingSpec small;
+    small.sleep_w = 1.0;
+    FlhGatingSpec big;
+    big.sleep_w = 4.0;
+    EXPECT_GT(small.seriesResistanceKohm(t.r_on_n_kohm), big.seriesResistanceKohm(t.r_on_n_kohm));
+    EXPECT_LT(small.areaUm2(t), big.areaUm2(t));
+    // Proportional sizing: stronger gated gates get bigger sleep pairs.
+    EXPECT_LT(small.areaUm2(t, 1.0), small.areaUm2(t, 2.0));
+}
+
+TEST(DftCells, SwitchedCapOrdering) {
+    // Normal-mode switched capacitance per toggle: latch and MUX internal
+    // nodes dwarf the FLH keeper (Table III rests on this).
+    const Tech& t = defaultTech();
+    EXPECT_GT(HoldLatchSpec{}.switchedCapFf(t), 3.0 * FlhGatingSpec{}.switchedCapFf(t));
+    EXPECT_GT(MuxHoldSpec{}.switchedCapFf(t), FlhGatingSpec{}.switchedCapFf(t));
+}
+
+TEST(DftCells, LeakFactors) {
+    const Tech& t = defaultTech();
+    const FlhGatingSpec flh;
+    EXPECT_LT(flh.activeLeakFactor(t), 1.0);
+    EXPECT_GT(flh.activeLeakFactor(t), 0.0);
+    EXPECT_LT(flh.sleepLeakFactor(t), flh.activeLeakFactor(t));
+}
+
+} // namespace
+} // namespace flh

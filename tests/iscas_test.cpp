@@ -1,0 +1,119 @@
+#include "iscas/circuits.hpp"
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+TEST(S27, MatchesPublishedStructure) {
+    const Netlist nl = makeS27(lib());
+    EXPECT_EQ(nl.pis().size(), 4u);
+    EXPECT_EQ(nl.pos().size(), 1u);
+    EXPECT_EQ(nl.flipFlops().size(), 3u);
+    EXPECT_EQ(nl.combGates().size(), 10u);
+    EXPECT_NO_THROW(nl.check());
+}
+
+TEST(S27, FirstLevelGates) {
+    const Netlist nl = makeS27(lib());
+    // G5 feeds G10... (NOR G5,G9); G6 feeds G8; G7 feeds G12: three distinct
+    // first-level gates.
+    EXPECT_EQ(nl.uniqueFirstLevelGates().size(), 3u);
+    EXPECT_EQ(nl.totalFfFanout(), 3u);
+}
+
+TEST(Registry, ElevenPaperCircuits) {
+    EXPECT_EQ(paperCircuits().size(), 11u);
+    EXPECT_EQ(findCircuit("s838").unique_ratio, 3.0);
+    EXPECT_THROW((void)findCircuit("s9999"), std::out_of_range);
+}
+
+TEST(Registry, AverageStatisticsMatchPaper) {
+    // Paper Table I: 2.3 average fanouts and 1.8 unique fanouts per FF.
+    double fan = 0.0;
+    double uniq = 0.0;
+    for (const CircuitSpec& s : paperCircuits()) {
+        fan += s.ff_fanout_avg;
+        uniq += s.unique_ratio;
+    }
+    fan /= static_cast<double>(paperCircuits().size());
+    uniq /= static_cast<double>(paperCircuits().size());
+    EXPECT_NEAR(fan, 2.3, 0.25);
+    EXPECT_NEAR(uniq, 1.8, 0.2);
+}
+
+TEST(Registry, TableIvSubset) {
+    const auto subset = tableIvCircuits();
+    EXPECT_EQ(subset.size(), 8u);
+    for (const CircuitSpec& s : subset) EXPECT_GE(s.n_ffs, 14);
+}
+
+class GeneratorFidelity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorFidelity, MatchesSpecStatistics) {
+    const CircuitSpec& spec = findCircuit(GetParam());
+    const Netlist nl = generateCircuit(spec, lib());
+    nl.check();
+    const NetlistStats st = computeStats(nl);
+
+    EXPECT_EQ(st.n_ffs, static_cast<std::size_t>(spec.n_ffs));
+    EXPECT_EQ(st.n_pis, static_cast<std::size_t>(spec.n_pis));
+    EXPECT_EQ(st.n_comb_gates, static_cast<std::size_t>(spec.n_comb_gates));
+    // Exact construction invariants:
+    EXPECT_EQ(st.unique_first_level,
+              static_cast<std::size_t>(static_cast<int>(spec.unique_ratio * spec.n_ffs + 0.5)));
+    EXPECT_NEAR(static_cast<double>(st.total_ff_fanout) / static_cast<double>(spec.n_ffs),
+                spec.ff_fanout_avg, 0.15);
+    // Depth is pinned by the backbone chain.
+    EXPECT_EQ(st.logic_depth, spec.depth);
+    EXPECT_GE(st.n_pos, static_cast<std::size_t>(spec.n_pos));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCircuits, GeneratorFidelity,
+                         ::testing::Values("s298", "s344", "s386", "s510", "s641", "s838",
+                                           "s1196", "s1423", "s5378"));
+
+TEST(Generator, Deterministic) {
+    const CircuitSpec& spec = findCircuit("s298");
+    const Netlist a = generateCircuit(spec, lib());
+    const Netlist b = generateCircuit(spec, lib());
+    EXPECT_EQ(writeBenchString(a), writeBenchString(b));
+}
+
+TEST(Generator, SeedChangesCircuit) {
+    CircuitSpec spec = findCircuit("s298");
+    const Netlist a = generateCircuit(spec, lib());
+    spec.seed ^= 0xdeadbeef;
+    const Netlist b = generateCircuit(spec, lib());
+    EXPECT_NE(writeBenchString(a), writeBenchString(b));
+}
+
+TEST(Generator, RoundTripsThroughBenchFormat) {
+    const Netlist nl = generateCircuit(findCircuit("s344"), lib());
+    const Netlist back = readBenchString(writeBenchString(nl), nl.name(), lib());
+    EXPECT_EQ(computeStats(back).n_comb_gates, computeStats(nl).n_comb_gates);
+    EXPECT_EQ(computeStats(back).logic_depth, computeStats(nl).logic_depth);
+    EXPECT_EQ(computeStats(back).unique_first_level, computeStats(nl).unique_first_level);
+}
+
+TEST(Generator, LargeCircuitsBuild) {
+    for (const char* name : {"s9234", "s13207"}) {
+        const Netlist nl = generateCircuit(findCircuit(name), lib());
+        EXPECT_NO_THROW(nl.check()) << name;
+        EXPECT_EQ(computeStats(nl).n_ffs, static_cast<std::size_t>(findCircuit(name).n_ffs));
+    }
+}
+
+TEST(Generator, MakeCircuitDispatches) {
+    EXPECT_EQ(makeCircuit("s27", lib()).combGates().size(), 10u);
+    EXPECT_EQ(makeCircuit("s298", lib()).flipFlops().size(), 14u);
+}
+
+} // namespace
+} // namespace flh

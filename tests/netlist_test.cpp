@@ -1,0 +1,257 @@
+#include "netlist/bench_io.hpp"
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+// A tiny hand-built circuit: 2 PIs, 1 FF, 3 gates.
+Netlist tiny() {
+    Netlist nl("tiny", lib());
+    const NetId a = nl.addPi("a");
+    const NetId b = nl.addPi("b");
+    const NetId q = nl.addNet("q");
+    const NetId n1 = nl.addNet("n1");
+    const NetId n2 = nl.addNet("n2");
+    const NetId d = nl.addNet("d");
+    nl.addGate(CellFn::Nand, {a, q}, n1);
+    nl.addGate(CellFn::Inv, {n1}, n2);
+    nl.addGate(CellFn::Nor, {n2, b}, d);
+    nl.addDff(d, q);
+    nl.markPo(n2);
+    return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+    const Netlist nl = tiny();
+    EXPECT_EQ(nl.netCount(), 6u);
+    EXPECT_EQ(nl.gateCount(), 4u);
+    EXPECT_EQ(nl.flipFlops().size(), 1u);
+    EXPECT_EQ(nl.combGates().size(), 3u);
+    EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Netlist, DuplicateNetNameRejected) {
+    Netlist nl("x", lib());
+    nl.addNet("n");
+    EXPECT_THROW(nl.addNet("n"), std::invalid_argument);
+}
+
+TEST(Netlist, DoubleDriveRejected) {
+    Netlist nl("x", lib());
+    const NetId a = nl.addPi("a");
+    const NetId o = nl.addNet("o");
+    nl.addGate(CellFn::Inv, {a}, o);
+    EXPECT_THROW(nl.addGate(CellFn::Inv, {a}, o), std::invalid_argument);
+    EXPECT_THROW(nl.addGate(CellFn::Inv, {o}, a), std::invalid_argument); // PI as output
+}
+
+TEST(Netlist, FanoutTracksRewire) {
+    Netlist nl = tiny();
+    const NetId a = *nl.findNet("a");
+    const NetId b = *nl.findNet("b");
+    EXPECT_EQ(nl.fanout(a).size(), 1u);
+    EXPECT_EQ(nl.fanout(b).size(), 1u);
+    // Rewire the NOR's b-input to a.
+    const GateId nor = nl.net(*nl.findNet("d")).driver;
+    nl.rewireInput(nor, 1, a);
+    EXPECT_EQ(nl.fanout(a).size(), 2u);
+    EXPECT_TRUE(nl.fanout(b).empty());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+    const Netlist nl = tiny();
+    const auto& order = nl.topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    // NAND (level 1) must precede INV (level 2) must precede NOR (level 3).
+    const auto& lv = nl.levels();
+    EXPECT_EQ(lv[order[0]], 1);
+    EXPECT_EQ(lv[order[1]], 2);
+    EXPECT_EQ(lv[order[2]], 3);
+    EXPECT_EQ(nl.logicDepth(), 3);
+}
+
+TEST(Netlist, CombinationalLoopDetected) {
+    Netlist nl("loop", lib());
+    const NetId a = nl.addPi("a");
+    const NetId x = nl.addNet("x");
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellFn::Nand, {a, y}, x);
+    nl.addGate(CellFn::Inv, {x}, y);
+    EXPECT_THROW((void)nl.topoOrder(), std::runtime_error);
+}
+
+TEST(Netlist, FlipFlopBreaksLoop) {
+    // The tiny circuit loops through the FF; that must be fine.
+    const Netlist nl = tiny();
+    EXPECT_NO_THROW((void)nl.topoOrder());
+}
+
+TEST(Netlist, UniqueFirstLevelGates) {
+    Netlist nl("fl", lib());
+    const NetId a = nl.addPi("a");
+    const NetId q0 = nl.addNet("q0");
+    const NetId q1 = nl.addNet("q1");
+    const NetId d = nl.addNet("d");
+    const NetId n1 = nl.addNet("n1");
+    const NetId n2 = nl.addNet("n2");
+    // Both FFs feed the same NAND -> 1 unique first-level gate, fanout 2.
+    const GateId g = nl.addGate(CellFn::Nand, {q0, q1}, n1);
+    nl.addGate(CellFn::Inv, {n1}, n2);
+    nl.addGate(CellFn::Inv, {n2}, d);
+    nl.addDff(d, q0);
+    nl.addDff(a, q1);
+    nl.markPo(n2);
+    const auto fl = nl.uniqueFirstLevelGates();
+    ASSERT_EQ(fl.size(), 1u);
+    EXPECT_EQ(fl[0], g);
+    EXPECT_EQ(nl.totalFfFanout(), 2u);
+}
+
+TEST(Netlist, AreaAndCaps) {
+    const Netlist nl = tiny();
+    EXPECT_GT(nl.totalAreaUm2(), 0.0);
+    const NetId n1 = *nl.findNet("n1");
+    EXPECT_GT(nl.netCapFf(n1), 0.0);
+}
+
+TEST(Netlist, StatsComputed) {
+    const NetlistStats s = computeStats(tiny());
+    EXPECT_EQ(s.n_pis, 2u);
+    EXPECT_EQ(s.n_pos, 1u);
+    EXPECT_EQ(s.n_ffs, 1u);
+    EXPECT_EQ(s.n_comb_gates, 3u);
+    EXPECT_EQ(s.logic_depth, 3);
+    EXPECT_GT(s.area_um2, 0.0);
+}
+
+// ------------------------------------------------------------- bench IO ----
+
+TEST(BenchIo, ParseSimple) {
+    const std::string text = R"(
+# comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+n1 = NAND(a, q)
+y = NOT(n1)
+d = NOR(y, b)
+)";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.pis().size(), 2u);
+    EXPECT_EQ(nl.pos().size(), 1u);
+    EXPECT_EQ(nl.flipFlops().size(), 1u);
+    EXPECT_EQ(nl.combGates().size(), 3u);
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+    const std::string text = "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = NOT(a)\n";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.combGates().size(), 2u);
+}
+
+TEST(BenchIo, ComplexGateExtensions) {
+    const std::string text =
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+        "y = AOI22(a, b, c, d)\nz = MUX2(a, b, c)\nOUTPUT(z)\n";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.combGates().size(), 2u);
+    EXPECT_EQ(nl.gate(0).fn, CellFn::Aoi22);
+    EXPECT_EQ(nl.gate(1).fn, CellFn::Mux2);
+}
+
+TEST(BenchIo, MalformedLinesThrow) {
+    EXPECT_THROW((void)readBenchString("INPUT a\n", "t", lib()), std::runtime_error);
+    EXPECT_THROW((void)readBenchString("y = FROB(a)\n", "t", lib()), std::runtime_error);
+    EXPECT_THROW((void)readBenchString("y = NOT()\n", "t", lib()), std::runtime_error);
+    EXPECT_THROW((void)readBenchString("y NOT(a)\n", "t", lib()), std::runtime_error);
+}
+
+TEST(BenchIo, UnknownOutputThrows) {
+    EXPECT_THROW((void)readBenchString("INPUT(a)\nOUTPUT(nope)\n", "t", lib()),
+                 std::runtime_error);
+}
+
+TEST(BenchIo, RoundTrip) {
+    const Netlist nl = tiny();
+    const std::string text = writeBenchString(nl);
+    const Netlist back = readBenchString(text, "tiny", lib());
+    EXPECT_EQ(back.netCount(), nl.netCount());
+    EXPECT_EQ(back.gateCount(), nl.gateCount());
+    EXPECT_EQ(back.pis().size(), nl.pis().size());
+    EXPECT_EQ(back.pos().size(), nl.pos().size());
+    EXPECT_EQ(back.flipFlops().size(), nl.flipFlops().size());
+    EXPECT_EQ(back.logicDepth(), nl.logicDepth());
+    // Second round-trip must be textually identical (canonical form).
+    EXPECT_EQ(writeBenchString(back), writeBenchString(nl));
+}
+
+TEST(BenchIo, CaseInsensitiveOperatorsAndComments) {
+    const std::string text =
+        "# header\nINPUT(a)\nOUTPUT(y)\ny = nand(a, x) # trailing comment\nx = not(a)\n";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.combGates().size(), 2u);
+    EXPECT_EQ(nl.gate(0).fn, CellFn::Nand);
+}
+
+TEST(BenchIo, SdffRoundTrips) {
+    const std::string text =
+        "INPUT(d)\nINPUT(si)\nINPUT(se)\nOUTPUT(q)\nq = SDFF(d, si, se)\n";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.flipFlops().size(), 1u);
+    EXPECT_EQ(nl.gate(0).fn, CellFn::Sdff);
+    const Netlist back = readBenchString(writeBenchString(nl), "t", lib());
+    EXPECT_EQ(back.flipFlops().size(), 1u);
+}
+
+TEST(Netlist, ReplaceGateValidation) {
+    Netlist nl = tiny();
+    const GateId ff = nl.flipFlops()[0];
+    const GateId comb = nl.combGates()[0];
+    // Sequential status must not change.
+    EXPECT_THROW(nl.replaceGate(ff, CellFn::Inv, {nl.pis()[0]}), std::invalid_argument);
+    EXPECT_THROW(nl.replaceGate(comb, CellFn::Dff, {nl.pis()[0]}), std::invalid_argument);
+    // Arity must resolve to a library cell.
+    EXPECT_THROW(nl.replaceGate(comb, CellFn::Nand, {nl.pis()[0]}), std::out_of_range);
+    // A valid replacement keeps the output net and updates function.
+    const NetId out = nl.gate(comb).output;
+    nl.replaceGate(comb, CellFn::Nor, {nl.pis()[0], nl.pis()[1]});
+    EXPECT_EQ(nl.gate(comb).fn, CellFn::Nor);
+    EXPECT_EQ(nl.gate(comb).output, out);
+    EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Netlist, NetCapGrowsWithFanout) {
+    Netlist nl("f", lib());
+    const NetId a = nl.addPi("a");
+    const NetId y1 = nl.addNet("y1");
+    nl.addGate(CellFn::Inv, {a}, y1);
+    nl.markPo(y1);
+    const double one = nl.netCapFf(a);
+    const NetId y2 = nl.addNet("y2");
+    nl.addGate(CellFn::Inv, {a}, y2);
+    nl.markPo(y2);
+    EXPECT_GT(nl.netCapFf(a), one);
+}
+
+TEST(Netlist, CopyIsIndependent) {
+    Netlist a = tiny();
+    Netlist b = a;
+    const NetId extra = b.addNet("extra");
+    b.addGate(CellFn::Inv, {b.pis()[0]}, extra);
+    EXPECT_EQ(a.gateCount() + 1, b.gateCount());
+    EXPECT_NO_THROW(a.check());
+    EXPECT_NO_THROW(b.check());
+}
+
+} // namespace
+} // namespace flh

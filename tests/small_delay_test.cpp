@@ -1,0 +1,117 @@
+#include "atpg/transition_atpg.hpp"
+#include "dft/scan.hpp"
+#include "fault/small_delay.hpp"
+#include "iscas/circuits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+Netlist scanned(const std::string& name) {
+    Netlist nl = makeCircuit(name, lib());
+    insertScan(nl);
+    return nl;
+}
+
+TEST(SmallDelay, LongestPathThroughNetBounds) {
+    const Netlist nl = scanned("s298");
+    const TimingResult sta = runSta(nl);
+    const auto through = longestPathThroughNet(nl, {});
+    double max_through = 0.0;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        EXPECT_LE(through[n], sta.critical_delay_ps + 1e-9) << nl.net(n).name;
+        max_through = std::max(max_through, through[n]);
+        // Every net on the critical path carries the full critical delay.
+    }
+    EXPECT_NEAR(max_through, sta.critical_delay_ps, 1e-9);
+    for (const NetId n : sta.critical_path)
+        EXPECT_NEAR(through[n], sta.critical_delay_ps, 1e-9);
+}
+
+TEST(SmallDelay, GradesMonotoneInDefectSize) {
+    const Netlist nl = scanned("s298");
+    const TimingResult sta = runSta(nl);
+    const auto faults = allTransitionFaults(nl);
+    TransitionAtpgConfig cfg;
+    cfg.random_pairs = 64;
+    const auto atpg = generateTransitionTests(nl, TestApplication::EnhancedScan, faults, cfg);
+
+    const double clock = sta.critical_delay_ps * 1.05;
+    const std::vector<double> sizes = {10.0, 50.0, 150.0, 400.0, 1e9};
+    const auto grades =
+        gradeSmallDelayCoverage(nl, {}, atpg.tests, faults, clock, sizes);
+    ASSERT_EQ(grades.size(), sizes.size());
+    // Larger defects are detectable at more sites.
+    for (std::size_t i = 1; i < grades.size(); ++i)
+        EXPECT_GE(grades[i].detectable, grades[i - 1].detectable);
+    // At D = infinity every fault site is "detectable"; coverage equals the
+    // plain transition coverage.
+    EXPECT_EQ(grades.back().detectable, faults.size());
+    EXPECT_NEAR(grades.back().coveragePct(), atpg.coverage.coveragePct(), 1e-9);
+}
+
+TEST(SmallDelay, TightClockMakesSmallDefectsDetectable) {
+    const Netlist nl = scanned("s344");
+    const TimingResult sta = runSta(nl);
+    const auto faults = allTransitionFaults(nl);
+    const auto pats = randomPatterns(nl, 16, 3);
+    std::vector<TwoPattern> tests;
+    for (std::size_t i = 0; i + 1 < pats.size(); i += 2)
+        tests.push_back(TwoPattern{pats[i], pats[i + 1]});
+
+    const std::vector<double> sizes = {25.0};
+    const auto tight =
+        gradeSmallDelayCoverage(nl, {}, tests, faults, sta.critical_delay_ps * 1.01, sizes);
+    const auto loose =
+        gradeSmallDelayCoverage(nl, {}, tests, faults, sta.critical_delay_ps * 1.5, sizes);
+    // At a relaxed clock, a 25 ps defect is harmless almost everywhere.
+    EXPECT_GT(tight[0].detectable, loose[0].detectable);
+}
+
+TEST(SmallDelay, NDetectCountsAreConsistent) {
+    const Netlist nl = scanned("s298");
+    const auto faults = allTransitionFaults(nl);
+    const auto pats = randomPatterns(nl, 32, 5);
+    std::vector<TwoPattern> tests;
+    for (std::size_t i = 0; i + 1 < pats.size(); i += 2)
+        tests.push_back(TwoPattern{pats[i], pats[i + 1]});
+
+    const auto counts = countTransitionDetections(nl, tests, faults);
+    const FaultSimResult sim = runTransitionFaultSim(nl, tests, faults);
+    ASSERT_EQ(counts.size(), faults.size());
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+        EXPECT_EQ(counts[f] > 0, static_cast<bool>(sim.detected_mask[f]));
+        EXPECT_LE(counts[f], tests.size());
+    }
+}
+
+TEST(SmallDelay, MoreTestsRaiseNDetect) {
+    const Netlist nl = scanned("s298");
+    const auto faults = allTransitionFaults(nl);
+    const auto pats = randomPatterns(nl, 64, 7);
+    std::vector<TwoPattern> small;
+    std::vector<TwoPattern> big;
+    for (std::size_t i = 0; i + 1 < pats.size(); i += 2) {
+        if (small.size() < 8) small.push_back(TwoPattern{pats[i], pats[i + 1]});
+        big.push_back(TwoPattern{pats[i], pats[i + 1]});
+    }
+    const auto c_small = countTransitionDetections(nl, small, faults);
+    const auto c_big = countTransitionDetections(nl, big, faults);
+    std::size_t sum_small = 0;
+    std::size_t sum_big = 0;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+        EXPECT_GE(c_big[f], c_small[f]); // superset of tests
+        sum_small += c_small[f];
+        sum_big += c_big[f];
+    }
+    EXPECT_GT(sum_big, sum_small);
+}
+
+} // namespace
+} // namespace flh

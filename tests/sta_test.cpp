@@ -1,0 +1,116 @@
+#include "iscas/circuits.hpp"
+#include "sta/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+// A chain of n inverters PI -> ... -> PO.
+Netlist invChain(int n) {
+    Netlist nl("chain" + std::to_string(n), lib());
+    NetId cur = nl.addPi("a");
+    for (int i = 0; i < n; ++i) {
+        const NetId next = nl.addNet("n" + std::to_string(i));
+        nl.addGate(CellFn::Inv, {cur}, next);
+        cur = next;
+    }
+    nl.markPo(cur);
+    return nl;
+}
+
+TEST(Sta, ChainDelayScalesWithLength) {
+    const double d4 = runSta(invChain(4)).critical_delay_ps;
+    const double d8 = runSta(invChain(8)).critical_delay_ps;
+    EXPECT_GT(d4, 0.0);
+    // Interior stages have identical load; doubling length roughly doubles
+    // delay (the last stage is unloaded, hence "roughly").
+    EXPECT_NEAR(d8 / d4, 2.0, 0.35);
+}
+
+TEST(Sta, CriticalPathIsContiguous) {
+    const Netlist nl = invChain(5);
+    const TimingResult r = runSta(nl);
+    ASSERT_EQ(r.critical_path.size(), 6u); // PI + 5 stage outputs
+    EXPECT_EQ(r.critical_levels, 5);
+    // Arrival must be strictly increasing along the path.
+    for (std::size_t i = 1; i < r.critical_path.size(); ++i)
+        EXPECT_GT(r.arrival_ps[r.critical_path[i]], r.arrival_ps[r.critical_path[i - 1]]);
+}
+
+TEST(Sta, SlackNonNegativeAndZeroOnCriticalPath) {
+    const Netlist nl = makeCircuit("s298", lib());
+    const TimingResult r = runSta(nl);
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        EXPECT_GE(r.slackPs(n), -1e-9) << nl.net(n).name;
+    for (const NetId n : r.critical_path) EXPECT_NEAR(r.slackPs(n), 0.0, 1e-9);
+}
+
+TEST(Sta, DepthMatchesLevelization) {
+    for (const char* name : {"s298", "s344", "s838"}) {
+        const Netlist nl = makeCircuit(name, lib());
+        const TimingResult r = runSta(nl);
+        // The timing-critical path length cannot exceed the structural depth.
+        EXPECT_LE(r.critical_levels, nl.logicDepth()) << name;
+        EXPECT_GT(r.critical_levels, nl.logicDepth() / 2) << name;
+    }
+}
+
+TEST(Sta, SourceSeriesDelayShiftsArrivals) {
+    const Netlist nl = makeCircuit("s344", lib());
+    const TimingResult base = runSta(nl);
+    TimingOverlay ov;
+    for (const GateId ff : nl.flipFlops()) ov.source_series_ps[nl.gate(ff).output] = 50.0;
+    const TimingResult with = runSta(nl, ov);
+    EXPECT_GT(with.critical_delay_ps, base.critical_delay_ps);
+    EXPECT_LE(with.critical_delay_ps, base.critical_delay_ps + 50.0 + 1e-9);
+}
+
+TEST(Sta, GateAdderOnCriticalGateExtendsDelay) {
+    const Netlist nl = invChain(6);
+    const TimingResult base = runSta(nl);
+    TimingOverlay ov;
+    ov.gate_delay_adder_ps[nl.topoOrder()[2]] = 7.5;
+    const TimingResult with = runSta(nl, ov);
+    EXPECT_NEAR(with.critical_delay_ps, base.critical_delay_ps + 7.5, 1e-9);
+}
+
+TEST(Sta, ExtraCapSlowsTheDriver) {
+    const Netlist nl = invChain(3);
+    const TimingResult base = runSta(nl);
+    TimingOverlay ov;
+    ov.extra_net_cap_ff[*nl.findNet("n1")] = 10.0;
+    const TimingResult with = runSta(nl, ov);
+    const double r_inv = lib().cell(lib().findByName("NOT1")).r_out_kohm;
+    EXPECT_NEAR(with.critical_delay_ps, base.critical_delay_ps + r_inv * 10.0, 1e-6);
+}
+
+TEST(Sta, OffCriticalAdderDoesNotMoveDelay) {
+    // Two parallel chains of different length from one PI: an adder on the
+    // short chain (within its slack) must not change the critical delay.
+    Netlist nl("par", lib());
+    const NetId a = nl.addPi("a");
+    NetId cur = a;
+    for (int i = 0; i < 8; ++i) {
+        const NetId next = nl.addNet("L" + std::to_string(i));
+        nl.addGate(CellFn::Inv, {cur}, next);
+        cur = next;
+    }
+    nl.markPo(cur);
+    const NetId s0 = nl.addNet("S0");
+    GateId short_gate = nl.addGate(CellFn::Inv, {a}, s0);
+    nl.markPo(s0);
+
+    const TimingResult base = runSta(nl);
+    TimingOverlay ov;
+    ov.gate_delay_adder_ps[short_gate] = 5.0;
+    EXPECT_NEAR(runSta(nl, ov).critical_delay_ps, base.critical_delay_ps, 1e-9);
+}
+
+} // namespace
+} // namespace flh

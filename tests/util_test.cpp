@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace flh {
+namespace {
+
+TEST(Rng, Deterministic) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOne) {
+    Rng r(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(3);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = r.range(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng r(9);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto w = v;
+    r.shuffle(w);
+    EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), w.begin()));
+    EXPECT_NE(v, w); // astronomically unlikely to be identity
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+    Rng r(13);
+    const std::vector<double> w = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(r.weighted(w), 1u);
+}
+
+TEST(Rng, WeightedProportions) {
+    Rng r(17);
+    const std::vector<double> w = {1.0, 3.0};
+    int hits1 = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (r.weighted(w) == 1) ++hits1;
+    EXPECT_NEAR(hits1 / 10000.0, 0.75, 0.03);
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitTrim) {
+    const auto parts = splitTrim(" a , b ,, c ", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitTrimEmpty) {
+    EXPECT_TRUE(splitTrim("", ',').empty());
+    EXPECT_TRUE(splitTrim(" , , ", ',').empty());
+}
+
+TEST(Strings, ToUpperAndStartsWith) {
+    EXPECT_EQ(toUpper("aBc9"), "ABC9");
+    EXPECT_TRUE(startsWith("INPUT(G0)", "INPUT"));
+    EXPECT_FALSE(startsWith("IN", "INPUT"));
+}
+
+TEST(Table, RendersAligned) {
+    TextTable t({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("| a  | bbbb |"), std::string::npos);
+    EXPECT_NE(s.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_EQ(t.rowCount(), 1u);
+    EXPECT_NE(t.render().find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, Fmt) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+    EXPECT_EQ(fmtPct(0.333, 1), "33.3");
+}
+
+TEST(Table, Csv) {
+    std::ostringstream os;
+    writeCsv(os, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+} // namespace
+} // namespace flh

@@ -1,0 +1,121 @@
+#include "dft/design.hpp"
+#include "dft/scan.hpp"
+#include "fault/fault_sim.hpp"
+#include "iscas/circuits.hpp"
+#include "variation/variation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+Netlist scanned(const std::string& name) {
+    Netlist nl = makeCircuit(name, lib());
+    insertScan(nl);
+    return nl;
+}
+
+TEST(Variation, SampleDieDeterministicPerIndex) {
+    const Netlist nl = scanned("s298");
+    const VariationModel m;
+    EXPECT_EQ(sampleDie(nl, m, 3), sampleDie(nl, m, 3));
+    EXPECT_NE(sampleDie(nl, m, 3), sampleDie(nl, m, 4));
+}
+
+TEST(Variation, FactorsCenterOnUnity) {
+    const Netlist nl = scanned("s641");
+    const VariationModel m;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::uint64_t die = 0; die < 20; ++die) {
+        for (const double f : sampleDie(nl, m, die)) {
+            sum += f;
+            ++n;
+        }
+    }
+    EXPECT_NEAR(sum / static_cast<double>(n), 1.0, 0.02);
+}
+
+TEST(Variation, ZeroSigmaGivesNominalDelay) {
+    const Netlist nl = scanned("s298");
+    VariationModel m;
+    m.sigma_die_pct = 0.0;
+    m.sigma_gate_pct = 0.0;
+    const MonteCarloResult mc = runTimingMonteCarlo(nl, {}, m, 8);
+    for (const double d : mc.delay_ps) EXPECT_NEAR(d, mc.nominal_ps, 1e-9);
+    EXPECT_NEAR(mc.sigmaPs(), 0.0, 1e-9);
+}
+
+TEST(Variation, SpreadGrowsWithSigma) {
+    const Netlist nl = scanned("s344");
+    VariationModel small;
+    small.sigma_gate_pct = 3.0;
+    small.sigma_die_pct = 2.0;
+    VariationModel big;
+    big.sigma_gate_pct = 12.0;
+    big.sigma_die_pct = 8.0;
+    const MonteCarloResult a = runTimingMonteCarlo(nl, {}, small, 60);
+    const MonteCarloResult b = runTimingMonteCarlo(nl, {}, big, 60);
+    EXPECT_GT(b.sigmaPs(), a.sigmaPs());
+}
+
+TEST(Variation, YieldCurveMonotone) {
+    const Netlist nl = scanned("s344");
+    const MonteCarloResult mc = runTimingMonteCarlo(nl, {}, {}, 80);
+    const double y_tight = mc.timingYieldPct(mc.nominal_ps);
+    const double y_loose = mc.timingYieldPct(mc.nominal_ps * 1.3);
+    EXPECT_LE(y_tight, y_loose);
+    EXPECT_GT(y_loose, 95.0);
+    // clockForYieldPs inverts timingYieldPct (within sampling resolution).
+    const double clk99 = mc.clockForYieldPs(99.0);
+    EXPECT_GE(mc.timingYieldPct(clk99), 98.5);
+}
+
+TEST(Variation, SomeDiesAreSlowerThanNominal) {
+    // The paper's premise: variation turns nominally-passing circuits into
+    // delay-fault parts.
+    const Netlist nl = scanned("s641");
+    const MonteCarloResult mc = runTimingMonteCarlo(nl, {}, {}, 100);
+    int slower = 0;
+    for (const double d : mc.delay_ps)
+        if (d > mc.nominal_ps) ++slower;
+    EXPECT_GT(slower, 20);
+    EXPECT_LT(slower, 80);
+}
+
+TEST(Variation, FlhOverlayShiftsYieldLessThanEnhancedScan) {
+    // "FLH is more suitable for high-speed applications": at a fixed clock,
+    // the FLH-equipped die population yields at least as well as the
+    // enhanced-scan one.
+    const Netlist nl = scanned("s641");
+    const DftDesign flh = planDft(nl, HoldStyle::Flh);
+    const DftDesign enh = planDft(nl, HoldStyle::EnhancedScan);
+    const MonteCarloResult mc_flh = runTimingMonteCarlo(nl, makeTimingOverlay(nl, flh), {}, 60);
+    const MonteCarloResult mc_enh = runTimingMonteCarlo(nl, makeTimingOverlay(nl, enh), {}, 60);
+    const double clock = mc_flh.nominal_ps * 1.05;
+    EXPECT_GE(mc_flh.timingYieldPct(clock), mc_enh.timingYieldPct(clock));
+    EXPECT_LT(mc_flh.clockForYieldPs(95.0), mc_enh.clockForYieldPs(95.0) + 1e-9);
+}
+
+TEST(Variation, EscapeAnalysisCountsCoveredSlowGates) {
+    const Netlist nl = scanned("s298");
+    const MonteCarloResult mc = runTimingMonteCarlo(nl, {}, {}, 60);
+    const auto faults = allTransitionFaults(nl);
+    // Full coverage catches every failing die...
+    std::vector<bool> all(faults.size(), true);
+    const double clock = mc.nominal_ps; // ~half the dies fail
+    const EscapeAnalysis full = analyzeEscapes(nl, mc, clock, all);
+    EXPECT_GT(full.failing_dies, 0);
+    EXPECT_EQ(full.caught, full.failing_dies);
+    // ...no coverage catches none.
+    std::vector<bool> none(faults.size(), false);
+    EXPECT_EQ(analyzeEscapes(nl, mc, clock, none).caught, 0);
+}
+
+} // namespace
+} // namespace flh

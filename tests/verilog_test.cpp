@@ -1,0 +1,97 @@
+#include "dft/design.hpp"
+#include "dft/scan.hpp"
+#include "iscas/circuits.hpp"
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flh {
+namespace {
+
+const Library& lib() {
+    static const Library l = makeDefaultLibrary();
+    return l;
+}
+
+TEST(VerilogName, Sanitization) {
+    EXPECT_EQ(verilogName("G17"), "G17");
+    EXPECT_EQ(verilogName("a.b[3]"), "a_b_3_");
+    EXPECT_EQ(verilogName("3x"), "n_3x");
+    EXPECT_EQ(verilogName(""), "n_");
+}
+
+TEST(Verilog, EmitsModuleWithAllPorts) {
+    const Netlist nl = makeS27(lib());
+    const std::string v = writeVerilogString(nl);
+    EXPECT_NE(v.find("module s27 ("), std::string::npos);
+    for (const NetId pi : nl.pis())
+        EXPECT_NE(v.find("input " + verilogName(nl.net(pi).name) + ";"), std::string::npos);
+    for (const NetId po : nl.pos())
+        EXPECT_NE(v.find("output " + verilogName(nl.net(po).name) + ";"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    EXPECT_NE(v.find("module FLH_DFF"), std::string::npos); // cell models appended
+}
+
+TEST(Verilog, OneInstancePerGate) {
+    const Netlist nl = makeS27(lib());
+    const std::string v = writeVerilogString(nl);
+    std::size_t instances = 0;
+    for (std::size_t pos = v.find(" u"); pos != std::string::npos; pos = v.find(" u", pos + 1)) {
+        if (std::isdigit(static_cast<unsigned char>(v[pos + 2]))) ++instances;
+    }
+    EXPECT_EQ(instances, nl.gateCount());
+}
+
+TEST(Verilog, ScanCellsAndTestControl) {
+    Netlist nl = makeS27(lib());
+    insertScan(nl);
+    const std::string v = writeVerilogString(nl);
+    EXPECT_NE(v.find("FLH_SDFF"), std::string::npos);
+    EXPECT_NE(v.find(".se(TC)"), std::string::npos);
+    EXPECT_NE(v.find("input SCAN_IN;"), std::string::npos);
+}
+
+TEST(Verilog, FlhWrappersEmitted) {
+    Netlist nl = makeS27(lib());
+    insertScan(nl);
+    VerilogOptions opt;
+    opt.flh_gated_gates = nl.uniqueFirstLevelGates();
+    const std::string v = writeVerilogString(nl, opt);
+    // One hold wrapper per gated gate, each re-driving the original net.
+    std::size_t wraps = 0;
+    for (std::size_t pos = v.find("FLH_HOLD_WRAP"); pos != std::string::npos;
+         pos = v.find("FLH_HOLD_WRAP", pos + 1))
+        ++wraps;
+    EXPECT_EQ(wraps, opt.flh_gated_gates.size() + 1); // + the model definition
+    EXPECT_NE(v.find("__pregate"), std::string::npos);
+    EXPECT_NE(v.find(".tc(TC)"), std::string::npos);
+}
+
+TEST(Verilog, NoCellModelsWhenDisabled) {
+    const Netlist nl = makeS27(lib());
+    VerilogOptions opt;
+    opt.emit_cell_models = false;
+    const std::string v = writeVerilogString(nl, opt);
+    EXPECT_EQ(v.find("module FLH_DFF"), std::string::npos);
+}
+
+TEST(Verilog, DeterministicOutput) {
+    const Netlist nl = makeCircuit("s298", lib());
+    EXPECT_EQ(writeVerilogString(nl), writeVerilogString(nl));
+}
+
+TEST(Verilog, VariadicGatesUseConcatenation) {
+    Netlist nl("v", lib());
+    const NetId a = nl.addPi("a");
+    const NetId b = nl.addPi("b");
+    const NetId c = nl.addPi("c");
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellFn::Nand, {a, b, c}, y);
+    nl.markPo(y);
+    const std::string v = writeVerilogString(nl);
+    EXPECT_NE(v.find("FLH_NAND #(.N(3))"), std::string::npos);
+    EXPECT_NE(v.find("{c, b, a}"), std::string::npos);
+}
+
+} // namespace
+} // namespace flh
