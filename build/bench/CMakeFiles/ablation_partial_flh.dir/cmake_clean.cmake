@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_flh.dir/ablation_partial_flh.cpp.o"
+  "CMakeFiles/ablation_partial_flh.dir/ablation_partial_flh.cpp.o.d"
+  "ablation_partial_flh"
+  "ablation_partial_flh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_flh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sleep_sizing.dir/ablation_sleep_sizing.cpp.o"
+  "CMakeFiles/ablation_sleep_sizing.dir/ablation_sleep_sizing.cpp.o.d"
+  "ablation_sleep_sizing"
+  "ablation_sleep_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sleep_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_float_decay.dir/fig2_float_decay.cpp.o"
+  "CMakeFiles/fig2_float_decay.dir/fig2_float_decay.cpp.o.d"
+  "fig2_float_decay"
+  "fig2_float_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_float_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_flh_hold.dir/fig4_flh_hold.cpp.o"
+  "CMakeFiles/fig4_flh_hold.dir/fig4_flh_hold.cpp.o.d"
+  "fig4_flh_hold"
+  "fig4_flh_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_flh_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_test_application.dir/fig5_test_application.cpp.o"
+  "CMakeFiles/fig5_test_application.dir/fig5_test_application.cpp.o.d"
+  "fig5_test_application"
+  "fig5_test_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_test_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

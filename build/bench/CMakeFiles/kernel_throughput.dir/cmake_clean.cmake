@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_throughput.dir/kernel_throughput.cpp.o"
+  "CMakeFiles/kernel_throughput.dir/kernel_throughput.cpp.o.d"
+  "kernel_throughput"
+  "kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_variation.dir/motivation_variation.cpp.o"
+  "CMakeFiles/motivation_variation.dir/motivation_variation.cpp.o.d"
+  "motivation_variation"
+  "motivation_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

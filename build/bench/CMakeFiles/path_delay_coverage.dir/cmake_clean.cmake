@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_delay_coverage.dir/path_delay_coverage.cpp.o"
+  "CMakeFiles/path_delay_coverage.dir/path_delay_coverage.cpp.o.d"
+  "path_delay_coverage"
+  "path_delay_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_delay_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_grading.dir/sdd_grading.cpp.o"
+  "CMakeFiles/sdd_grading.dir/sdd_grading.cpp.o.d"
+  "sdd_grading"
+  "sdd_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec1_diagnosis.dir/sec1_diagnosis.cpp.o"
+  "CMakeFiles/sec1_diagnosis.dir/sec1_diagnosis.cpp.o.d"
+  "sec1_diagnosis"
+  "sec1_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec1_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

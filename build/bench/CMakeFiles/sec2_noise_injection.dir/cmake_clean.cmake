@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_noise_injection.dir/sec2_noise_injection.cpp.o"
+  "CMakeFiles/sec2_noise_injection.dir/sec2_noise_injection.cpp.o.d"
+  "sec2_noise_injection"
+  "sec2_noise_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_noise_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

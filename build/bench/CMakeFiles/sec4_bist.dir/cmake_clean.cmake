@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_bist.dir/sec4_bist.cpp.o"
+  "CMakeFiles/sec4_bist.dir/sec4_bist.cpp.o.d"
+  "sec4_bist"
+  "sec4_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

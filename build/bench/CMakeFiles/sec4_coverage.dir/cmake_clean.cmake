@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_coverage.dir/sec4_coverage.cpp.o"
+  "CMakeFiles/sec4_coverage.dir/sec4_coverage.cpp.o.d"
+  "sec4_coverage"
+  "sec4_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

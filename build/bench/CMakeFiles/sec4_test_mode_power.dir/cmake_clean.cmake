@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_test_mode_power.dir/sec4_test_mode_power.cpp.o"
+  "CMakeFiles/sec4_test_mode_power.dir/sec4_test_mode_power.cpp.o.d"
+  "sec4_test_mode_power"
+  "sec4_test_mode_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_test_mode_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

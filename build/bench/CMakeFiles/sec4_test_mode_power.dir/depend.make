@@ -1,0 +1,2 @@
+# Empty dependencies file for sec4_test_mode_power.
+# This may be replaced when dependencies are built.

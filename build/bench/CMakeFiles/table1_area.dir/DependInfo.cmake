@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_area.cpp" "bench/CMakeFiles/table1_area.dir/table1_area.cpp.o" "gcc" "bench/CMakeFiles/table1_area.dir/table1_area.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dft/CMakeFiles/flh_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscas/CMakeFiles/flh_iscas.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/flh_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/flh_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/flh_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/flh_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/flh_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

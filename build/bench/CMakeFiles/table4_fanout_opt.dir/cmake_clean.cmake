@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fanout_opt.dir/table4_fanout_opt.cpp.o"
+  "CMakeFiles/table4_fanout_opt.dir/table4_fanout_opt.cpp.o.d"
+  "table4_fanout_opt"
+  "table4_fanout_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fanout_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

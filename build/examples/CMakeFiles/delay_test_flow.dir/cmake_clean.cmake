@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_test_flow.dir/delay_test_flow.cpp.o"
+  "CMakeFiles/delay_test_flow.dir/delay_test_flow.cpp.o.d"
+  "delay_test_flow"
+  "delay_test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_explorer.dir/dft_explorer.cpp.o"
+  "CMakeFiles/dft_explorer.dir/dft_explorer.cpp.o.d"
+  "dft_explorer"
+  "dft_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_power_audit.dir/scan_power_audit.cpp.o"
+  "CMakeFiles/scan_power_audit.dir/scan_power_audit.cpp.o.d"
+  "scan_power_audit"
+  "scan_power_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_power_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("cell")
+subdirs("netlist")
+subdirs("iscas")
+subdirs("sim")
+subdirs("sta")
+subdirs("power")
+subdirs("dft")
+subdirs("fault")
+subdirs("atpg")
+subdirs("analog")
+subdirs("core")
+subdirs("bist")
+subdirs("variation")
+subdirs("diagnose")

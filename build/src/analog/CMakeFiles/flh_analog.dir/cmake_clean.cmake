@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_analog.dir/analog.cpp.o"
+  "CMakeFiles/flh_analog.dir/analog.cpp.o.d"
+  "CMakeFiles/flh_analog.dir/flh_chain.cpp.o"
+  "CMakeFiles/flh_analog.dir/flh_chain.cpp.o.d"
+  "libflh_analog.a"
+  "libflh_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_atpg.dir/compaction.cpp.o"
+  "CMakeFiles/flh_atpg.dir/compaction.cpp.o.d"
+  "CMakeFiles/flh_atpg.dir/path_atpg.cpp.o"
+  "CMakeFiles/flh_atpg.dir/path_atpg.cpp.o.d"
+  "CMakeFiles/flh_atpg.dir/podem.cpp.o"
+  "CMakeFiles/flh_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/flh_atpg.dir/stuck_atpg.cpp.o"
+  "CMakeFiles/flh_atpg.dir/stuck_atpg.cpp.o.d"
+  "CMakeFiles/flh_atpg.dir/transition_atpg.cpp.o"
+  "CMakeFiles/flh_atpg.dir/transition_atpg.cpp.o.d"
+  "libflh_atpg.a"
+  "libflh_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

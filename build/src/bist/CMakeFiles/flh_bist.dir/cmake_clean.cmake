@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_bist.dir/bist.cpp.o"
+  "CMakeFiles/flh_bist.dir/bist.cpp.o.d"
+  "CMakeFiles/flh_bist.dir/lfsr.cpp.o"
+  "CMakeFiles/flh_bist.dir/lfsr.cpp.o.d"
+  "libflh_bist.a"
+  "libflh_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cells.cpp" "src/cell/CMakeFiles/flh_cell.dir/cells.cpp.o" "gcc" "src/cell/CMakeFiles/flh_cell.dir/cells.cpp.o.d"
+  "/root/repo/src/cell/dft_cells.cpp" "src/cell/CMakeFiles/flh_cell.dir/dft_cells.cpp.o" "gcc" "src/cell/CMakeFiles/flh_cell.dir/dft_cells.cpp.o.d"
+  "/root/repo/src/cell/logic.cpp" "src/cell/CMakeFiles/flh_cell.dir/logic.cpp.o" "gcc" "src/cell/CMakeFiles/flh_cell.dir/logic.cpp.o.d"
+  "/root/repo/src/cell/tech.cpp" "src/cell/CMakeFiles/flh_cell.dir/tech.cpp.o" "gcc" "src/cell/CMakeFiles/flh_cell.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

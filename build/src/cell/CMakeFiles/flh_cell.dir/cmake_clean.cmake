@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_cell.dir/cells.cpp.o"
+  "CMakeFiles/flh_cell.dir/cells.cpp.o.d"
+  "CMakeFiles/flh_cell.dir/dft_cells.cpp.o"
+  "CMakeFiles/flh_cell.dir/dft_cells.cpp.o.d"
+  "CMakeFiles/flh_cell.dir/logic.cpp.o"
+  "CMakeFiles/flh_cell.dir/logic.cpp.o.d"
+  "CMakeFiles/flh_cell.dir/tech.cpp.o"
+  "CMakeFiles/flh_cell.dir/tech.cpp.o.d"
+  "libflh_cell.a"
+  "libflh_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/cell/CMakeFiles/flh_cell.dir/dft_cells.cpp.o: \
+ /root/repo/src/cell/dft_cells.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/cell/dft_cells.hpp /root/repo/src/cell/tech.hpp

@@ -1,0 +1,2 @@
+src/cell/CMakeFiles/flh_cell.dir/tech.cpp.o: /root/repo/src/cell/tech.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/cell/tech.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_core.dir/kit.cpp.o"
+  "CMakeFiles/flh_core.dir/kit.cpp.o.d"
+  "CMakeFiles/flh_core.dir/test_application.cpp.o"
+  "CMakeFiles/flh_core.dir/test_application.cpp.o.d"
+  "libflh_core.a"
+  "libflh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_dft.dir/chain_order.cpp.o"
+  "CMakeFiles/flh_dft.dir/chain_order.cpp.o.d"
+  "CMakeFiles/flh_dft.dir/design.cpp.o"
+  "CMakeFiles/flh_dft.dir/design.cpp.o.d"
+  "CMakeFiles/flh_dft.dir/fanout_opt.cpp.o"
+  "CMakeFiles/flh_dft.dir/fanout_opt.cpp.o.d"
+  "CMakeFiles/flh_dft.dir/scan.cpp.o"
+  "CMakeFiles/flh_dft.dir/scan.cpp.o.d"
+  "libflh_dft.a"
+  "libflh_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_diagnose.dir/diagnose.cpp.o"
+  "CMakeFiles/flh_diagnose.dir/diagnose.cpp.o.d"
+  "libflh_diagnose.a"
+  "libflh_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/flh_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/flh_fault.dir/faults.cpp.o"
+  "CMakeFiles/flh_fault.dir/faults.cpp.o.d"
+  "CMakeFiles/flh_fault.dir/path_delay.cpp.o"
+  "CMakeFiles/flh_fault.dir/path_delay.cpp.o.d"
+  "CMakeFiles/flh_fault.dir/small_delay.cpp.o"
+  "CMakeFiles/flh_fault.dir/small_delay.cpp.o.d"
+  "libflh_fault.a"
+  "libflh_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iscas/circuits.cpp" "src/iscas/CMakeFiles/flh_iscas.dir/circuits.cpp.o" "gcc" "src/iscas/CMakeFiles/flh_iscas.dir/circuits.cpp.o.d"
+  "/root/repo/src/iscas/generator.cpp" "src/iscas/CMakeFiles/flh_iscas.dir/generator.cpp.o" "gcc" "src/iscas/CMakeFiles/flh_iscas.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/flh_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/flh_cell.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_iscas.dir/circuits.cpp.o"
+  "CMakeFiles/flh_iscas.dir/circuits.cpp.o.d"
+  "CMakeFiles/flh_iscas.dir/generator.cpp.o"
+  "CMakeFiles/flh_iscas.dir/generator.cpp.o.d"
+  "libflh_iscas.a"
+  "libflh_iscas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_iscas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/flh_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/flh_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/flh_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/flh_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/flh_netlist.dir/verilog_io.cpp.o.d"
+  "libflh_netlist.a"
+  "libflh_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

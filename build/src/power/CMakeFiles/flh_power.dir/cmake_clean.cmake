@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_power.dir/power.cpp.o"
+  "CMakeFiles/flh_power.dir/power.cpp.o.d"
+  "libflh_power.a"
+  "libflh_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_sim.dir/pattern_sim.cpp.o"
+  "CMakeFiles/flh_sim.dir/pattern_sim.cpp.o.d"
+  "CMakeFiles/flh_sim.dir/sequential.cpp.o"
+  "CMakeFiles/flh_sim.dir/sequential.cpp.o.d"
+  "libflh_sim.a"
+  "libflh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

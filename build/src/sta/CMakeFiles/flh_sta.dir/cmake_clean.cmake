@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_sta.dir/timing.cpp.o"
+  "CMakeFiles/flh_sta.dir/timing.cpp.o.d"
+  "libflh_sta.a"
+  "libflh_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflh_sta.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_util.dir/rng.cpp.o"
+  "CMakeFiles/flh_util.dir/rng.cpp.o.d"
+  "CMakeFiles/flh_util.dir/strings.cpp.o"
+  "CMakeFiles/flh_util.dir/strings.cpp.o.d"
+  "CMakeFiles/flh_util.dir/table.cpp.o"
+  "CMakeFiles/flh_util.dir/table.cpp.o.d"
+  "libflh_util.a"
+  "libflh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flh_variation.dir/variation.cpp.o"
+  "CMakeFiles/flh_variation.dir/variation.cpp.o.d"
+  "libflh_variation.a"
+  "libflh_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flh_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iscas_test.dir/iscas_test.cpp.o"
+  "CMakeFiles/iscas_test.dir/iscas_test.cpp.o.d"
+  "iscas_test"
+  "iscas_test.pdb"
+  "iscas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iscas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_delay_test.dir/small_delay_test.cpp.o"
+  "CMakeFiles/small_delay_test.dir/small_delay_test.cpp.o.d"
+  "small_delay_test"
+  "small_delay_test.pdb"
+  "small_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
