@@ -5,6 +5,7 @@
 #include "bench_util.hpp"
 #include "analog/flh_chain.hpp"
 #include "fault/fault_sim.hpp"
+#include "fault/parallel_sim.hpp"
 #include "power/power.hpp"
 #include "sta/timing.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,75 @@ void BM_StuckAtFaultSim(benchmark::State& state) {
                             static_cast<int64_t>(faults.size()));
 }
 BENCHMARK(BM_StuckAtFaultSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Faults/sec appears as items_per_second. range(1) is the worker count
+// (0 = one per hardware thread), so "/N/1" rows are the serial baseline and
+// "/N/0" rows the parallel engine — their ratio is the measured speedup.
+void BM_StuckAtFaultSimThreads(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto pats = randomPatterns(nl, 64, 3);
+    const auto faults = collapsedStuckAtFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runStuckAtFaultSim(nl, pats, faults, opts).detected);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_StuckAtFaultSimThreads)
+    ->ArgNames({"circuit", "threads"})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransitionFaultSimThreads(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto v1s = randomPatterns(nl, 64, 7);
+    const auto v2s = randomPatterns(nl, 64, 8);
+    std::vector<TwoPattern> tests;
+    tests.reserve(v1s.size());
+    for (std::size_t i = 0; i < v1s.size(); ++i) tests.push_back(TwoPattern{v1s[i], v2s[i]});
+    const auto faults = allTransitionFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runTransitionFaultSim(nl, tests, faults, opts).detected);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_TransitionFaultSimThreads)
+    ->ArgNames({"circuit", "threads"})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NDetectProfileThreads(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto v1s = randomPatterns(nl, 128, 9);
+    const auto v2s = randomPatterns(nl, 128, 10);
+    std::vector<TwoPattern> tests;
+    tests.reserve(v1s.size());
+    for (std::size_t i = 0; i < v1s.size(); ++i) tests.push_back(TwoPattern{v1s[i], v2s[i]});
+    const auto faults = allTransitionFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(countTransitionDetections(nl, tests, faults, opts).size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_NDetectProfileThreads)
+    ->ArgNames({"circuit", "threads"})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Sta(benchmark::State& state) {
     const Netlist& nl = circuitFor(state);

@@ -1,9 +1,8 @@
 #include "fault/fault_sim.hpp"
 
+#include "fault/parallel_sim.hpp"
 #include "util/rng.hpp"
 
-#include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace flh {
@@ -16,55 +15,6 @@ const char* toString(TestApplication a) noexcept {
     }
     return "?";
 }
-
-namespace {
-
-/// Load up to 64 patterns into the simulator (slot i = pattern i); missing
-/// slots repeat the last pattern so they never create spurious detections
-/// (their detection bits are masked off by `valid`).
-void loadPatterns(PatternSim& sim, std::span<const Pattern> pats, std::size_t base,
-                  std::size_t count) {
-    const Netlist& nl = sim.netlist();
-    const auto& pis = nl.pis();
-    const auto& ffs = nl.flipFlops();
-    for (std::size_t k = 0; k < pis.size(); ++k) {
-        PV v;
-        for (unsigned slot = 0; slot < 64; ++slot) {
-            const Pattern& p = pats[base + std::min<std::size_t>(slot, count - 1)];
-            v.set(slot, p.pis.at(k));
-        }
-        sim.setNet(pis[k], v);
-    }
-    for (std::size_t k = 0; k < ffs.size(); ++k) {
-        PV v;
-        for (unsigned slot = 0; slot < 64; ++slot) {
-            const Pattern& p = pats[base + std::min<std::size_t>(slot, count - 1)];
-            v.set(slot, p.state.at(k));
-        }
-        sim.setNet(nl.gate(ffs[k]).output, v);
-    }
-    sim.propagate();
-}
-
-/// Observation snapshot: POs then FF D nets.
-std::vector<PV> observe(const PatternSim& sim) {
-    const Netlist& nl = sim.netlist();
-    std::vector<PV> out;
-    out.reserve(nl.pos().size() + nl.flipFlops().size());
-    for (const NetId po : nl.pos()) out.push_back(sim.get(po));
-    for (const GateId ff : nl.flipFlops()) out.push_back(sim.get(nl.gate(ff).inputs[0]));
-    return out;
-}
-
-/// Slots where any observation point definitely differs.
-std::uint64_t diffMask(const std::vector<PV>& good, const std::vector<PV>& faulty) {
-    std::uint64_t m = 0;
-    for (std::size_t i = 0; i < good.size(); ++i)
-        m |= (good[i].v ^ faulty[i].v) & ~good[i].x & ~faulty[i].x;
-    return m;
-}
-
-} // namespace
 
 std::vector<Pattern> randomPatterns(const Netlist& nl, std::size_t count, std::uint64_t seed) {
     Rng rng(seed);
@@ -80,11 +30,15 @@ std::vector<Pattern> randomPatterns(const Netlist& nl, std::size_t count, std::u
 
 std::vector<Logic> nextState(const Netlist& nl, const Pattern& p) {
     PatternSim sim(nl);
-    const Pattern pats[1] = {p};
-    loadPatterns(sim, pats, 0, 1);
-    std::vector<Logic> next(nl.flipFlops().size());
+    const auto& pis = nl.pis();
+    const auto& ffs = nl.flipFlops();
+    for (std::size_t k = 0; k < pis.size(); ++k) sim.setNet(pis[k], PV::all(p.pis.at(k)));
+    for (std::size_t k = 0; k < ffs.size(); ++k)
+        sim.setNet(nl.gate(ffs[k]).output, PV::all(p.state.at(k)));
+    sim.propagate();
+    std::vector<Logic> next(ffs.size());
     for (std::size_t k = 0; k < next.size(); ++k)
-        next[k] = sim.get(nl.gate(nl.flipFlops()[k]).inputs[0]).get(0);
+        next[k] = sim.get(nl.gate(ffs[k]).inputs[0]).get(0);
     return next;
 }
 
@@ -135,97 +89,18 @@ bool isValidPair(const Netlist& nl, TestApplication style, const TwoPattern& tp)
 
 FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pats,
                                   std::span<const FaultSite> faults) {
-    FaultSimResult res;
-    res.total = faults.size();
-    res.detected_mask.assign(faults.size(), false);
-    if (pats.empty() || faults.empty()) return res;
-
-    PatternSim sim(nl);
-    for (std::size_t base = 0; base < pats.size(); base += 64) {
-        const std::size_t count = std::min<std::size_t>(64, pats.size() - base);
-        const std::uint64_t valid = count == 64 ? ~0ULL : ((1ULL << count) - 1);
-        loadPatterns(sim, pats, base, count);
-        const std::vector<PV> good = observe(sim);
-
-        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-            if (res.detected_mask[fi]) continue;
-            sim.injectFault(faults[fi]);
-            sim.propagate();
-            const std::uint64_t hit = diffMask(good, observe(sim)) & valid;
-            sim.clearFault();
-            sim.propagate();
-            if (hit) {
-                res.detected_mask[fi] = true;
-                ++res.detected;
-            }
-        }
-    }
-    return res;
+    return runStuckAtFaultSim(nl, pats, faults, FaultSimOptions{});
 }
 
 FaultSimResult runTransitionFaultSim(const Netlist& nl, std::span<const TwoPattern> tests,
                                      std::span<const TransitionFault> faults) {
-    FaultSimResult res;
-    res.total = faults.size();
-    res.detected_mask.assign(faults.size(), false);
-    if (tests.empty() || faults.empty()) return res;
-
-    PatternSim sim_v1(nl);
-    PatternSim sim_v2(nl);
-
-    std::vector<Pattern> v1s;
-    std::vector<Pattern> v2s;
-    v1s.reserve(tests.size());
-    v2s.reserve(tests.size());
-    for (const TwoPattern& tp : tests) {
-        v1s.push_back(tp.v1);
-        v2s.push_back(tp.v2);
-    }
-
-    for (std::size_t base = 0; base < tests.size(); base += 64) {
-        const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
-        const std::uint64_t valid = count == 64 ? ~0ULL : ((1ULL << count) - 1);
-        loadPatterns(sim_v1, v1s, base, count);
-        loadPatterns(sim_v2, v2s, base, count);
-        const std::vector<PV> good = observe(sim_v2);
-
-        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-            if (res.detected_mask[fi]) continue;
-            const TransitionFault& tf = faults[fi];
-
-            // V1 must establish the initial value at the fault site.
-            const PV at_site = sim_v1.get(tf.net);
-            const std::uint64_t want_one = tf.initialValue() == Logic::One ? ~0ULL : 0;
-            const std::uint64_t init_ok = ~(at_site.v ^ want_one) & ~at_site.x;
-
-            if ((init_ok & valid) == 0) continue;
-
-            const FaultSite sa = tf.equivalentStuckAt();
-            sim_v2.injectFault(sa);
-            sim_v2.propagate();
-            const std::uint64_t hit = diffMask(good, observe(sim_v2)) & init_ok & valid;
-            sim_v2.clearFault();
-            sim_v2.propagate();
-            if (hit) {
-                res.detected_mask[fi] = true;
-                ++res.detected;
-            }
-        }
-    }
-    return res;
+    return runTransitionFaultSim(nl, tests, faults, FaultSimOptions{});
 }
 
 std::vector<std::size_t> countTransitionDetections(const Netlist& nl,
                                                    std::span<const TwoPattern> tests,
                                                    std::span<const TransitionFault> faults) {
-    std::vector<std::size_t> counts(faults.size(), 0);
-    for (const TwoPattern& tp : tests) {
-        const TwoPattern one[1] = {tp};
-        const FaultSimResult r = runTransitionFaultSim(nl, one, faults);
-        for (std::size_t f = 0; f < faults.size(); ++f)
-            if (r.detected_mask[f]) ++counts[f];
-    }
-    return counts;
+    return countTransitionDetections(nl, tests, faults, FaultSimOptions{});
 }
 
 } // namespace flh

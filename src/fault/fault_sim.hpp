@@ -65,11 +65,12 @@ struct FaultSimResult {
 /// scan accepts anything).
 [[nodiscard]] bool isValidPair(const Netlist& nl, TestApplication style, const TwoPattern& tp);
 
-/// Stuck-at fault simulation over a pattern set.
+/// Stuck-at fault simulation over a pattern set. Runs on the engine in
+/// fault/parallel_sim.hpp with the default (single-threaded) options.
 [[nodiscard]] FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pats,
                                                 std::span<const FaultSite> faults);
 
-/// Transition fault simulation over two-pattern tests.
+/// Transition fault simulation over two-pattern tests (same engine).
 [[nodiscard]] FaultSimResult runTransitionFaultSim(const Netlist& nl,
                                                    std::span<const TwoPattern> tests,
                                                    std::span<const TransitionFault> faults);
@@ -77,6 +78,7 @@ struct FaultSimResult {
 /// N-detect profile: how many of the tests detect each fault (no fault
 /// dropping). Higher multiplicity means the fault is exercised through more
 /// distinct paths — the standard proxy for small-delay-defect quality.
+/// Batched 64 tests per pass on shared simulators (same engine).
 [[nodiscard]] std::vector<std::size_t> countTransitionDetections(
     const Netlist& nl, std::span<const TwoPattern> tests,
     std::span<const TransitionFault> faults);

@@ -1,0 +1,287 @@
+#include "fault/parallel_sim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <thread>
+
+namespace flh {
+
+namespace {
+
+/// Load up to 64 patterns into the simulator (slot i = pattern i); missing
+/// slots repeat the last pattern so they never create spurious detections
+/// (their detection bits are masked off by `valid`).
+void loadPatterns(PatternSim& sim, std::span<const Pattern> pats, std::size_t base,
+                  std::size_t count) {
+    const Netlist& nl = sim.netlist();
+    const auto& pis = nl.pis();
+    const auto& ffs = nl.flipFlops();
+    for (std::size_t k = 0; k < pis.size(); ++k) {
+        PV v;
+        for (unsigned slot = 0; slot < 64; ++slot) {
+            const Pattern& p = pats[base + std::min<std::size_t>(slot, count - 1)];
+            v.set(slot, p.pis.at(k));
+        }
+        sim.setNet(pis[k], v);
+    }
+    for (std::size_t k = 0; k < ffs.size(); ++k) {
+        PV v;
+        for (unsigned slot = 0; slot < 64; ++slot) {
+            const Pattern& p = pats[base + std::min<std::size_t>(slot, count - 1)];
+            v.set(slot, p.state.at(k));
+        }
+        sim.setNet(nl.gate(ffs[k]).output, v);
+    }
+    sim.propagate();
+}
+
+/// Observation snapshot into a reusable buffer: POs then FF D nets.
+void observeInto(const PatternSim& sim, std::vector<PV>& out) {
+    const Netlist& nl = sim.netlist();
+    out.clear();
+    for (const NetId po : nl.pos()) out.push_back(sim.get(po));
+    for (const GateId ff : nl.flipFlops()) out.push_back(sim.get(nl.gate(ff).inputs[0]));
+}
+
+/// Slots where any observation point definitely differs.
+std::uint64_t diffMask(const std::vector<PV>& good, const std::vector<PV>& faulty) {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < good.size(); ++i)
+        m |= (good[i].v ^ faulty[i].v) & ~good[i].x & ~faulty[i].x;
+    return m;
+}
+
+std::uint64_t validMask(std::size_t count) {
+    return count == 64 ? ~0ULL : ((1ULL << count) - 1);
+}
+
+/// One detection bit per fault, shared by every worker. Bits move only
+/// 0 -> 1 and each is written under the single-fault independence
+/// assumption, so relaxed ordering suffices; the final read-out happens
+/// after the pool joins, which synchronizes everything.
+class DetectedBitmap {
+public:
+    explicit DetectedBitmap(std::size_t bits) : words_((bits + 63) / 64) {}
+
+    [[nodiscard]] bool test(std::size_t i) const noexcept {
+        return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1;
+    }
+    void set(std::size_t i) noexcept {
+        words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+/// Run `work(lo, hi)` over [0, n) split into `t` contiguous ranges.
+/// t == 1 runs inline on the caller. Worker exceptions are rethrown here.
+template <typename Fn>
+void runPartitioned(std::size_t n, unsigned t, const Fn& work) {
+    if (t <= 1 || n == 0) {
+        work(std::size_t{0}, n);
+        return;
+    }
+    std::vector<std::thread> pool;
+    std::vector<std::exception_ptr> errors(t);
+    pool.reserve(t);
+    for (unsigned w = 0; w < t; ++w) {
+        const std::size_t lo = n * w / t;
+        const std::size_t hi = n * (w + 1) / t;
+        pool.emplace_back([&work, &errors, lo, hi, w] {
+            try {
+                work(lo, hi);
+            } catch (...) {
+                errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& th : pool) th.join();
+    for (const std::exception_ptr& e : errors)
+        if (e) std::rethrow_exception(e);
+}
+
+/// The Netlist builds fanout/topo/levels lazily into mutable caches; force
+/// them before spawning so workers only ever read.
+void warmCaches(const Netlist& nl) {
+    (void)nl.topoOrder();
+    (void)nl.levels();
+    if (nl.netCount()) (void)nl.fanout(0);
+}
+
+} // namespace
+
+unsigned FaultSimOptions::resolveThreads(std::size_t n_faults) const noexcept {
+    std::size_t t = threads ? threads : std::max(1u, std::thread::hardware_concurrency());
+    if (min_faults_per_worker)
+        t = std::min<std::size_t>(t, std::max<std::size_t>(1, n_faults / min_faults_per_worker));
+    return static_cast<unsigned>(std::max<std::size_t>(1, t));
+}
+
+FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pats,
+                                  std::span<const FaultSite> faults,
+                                  const FaultSimOptions& opts) {
+    FaultSimResult res;
+    res.total = faults.size();
+    res.detected_mask.assign(faults.size(), false);
+    if (pats.empty() || faults.empty()) return res;
+
+    warmCaches(nl);
+    DetectedBitmap det(faults.size());
+    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi) {
+                       if (lo == hi) return;
+                       PatternSim sim(nl);
+                       std::vector<PV> good;
+                       std::vector<PV> faulty;
+                       for (std::size_t base = 0; base < pats.size(); base += 64) {
+                           const std::size_t count = std::min<std::size_t>(64, pats.size() - base);
+                           const std::uint64_t valid = validMask(count);
+                           loadPatterns(sim, pats, base, count);
+                           observeInto(sim, good);
+                           for (std::size_t fi = lo; fi < hi; ++fi) {
+                               if (det.test(fi)) continue;
+                               sim.injectFault(faults[fi]);
+                               sim.propagate();
+                               observeInto(sim, faulty);
+                               const std::uint64_t hit = diffMask(good, faulty) & valid;
+                               sim.clearFault();
+                               if (hit) det.set(fi);
+                           }
+                       }
+                   });
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi)
+        if (det.test(fi)) {
+            res.detected_mask[fi] = true;
+            ++res.detected;
+        }
+    return res;
+}
+
+namespace {
+
+/// Split two-pattern tests into the V1 / V2 pattern sequences the 64-wide
+/// loader consumes.
+void splitPairs(std::span<const TwoPattern> tests, std::vector<Pattern>& v1s,
+                std::vector<Pattern>& v2s) {
+    v1s.reserve(tests.size());
+    v2s.reserve(tests.size());
+    for (const TwoPattern& tp : tests) {
+        v1s.push_back(tp.v1);
+        v2s.push_back(tp.v2);
+    }
+}
+
+/// Batch detection mask for one transition fault: slots where V1 launches
+/// the transition (initial value established at the site) AND V2 propagates
+/// the equivalent stuck-at effect to an observation point.
+struct TransitionWorkerState {
+    PatternSim sim_v1;
+    PatternSim sim_v2;
+    std::vector<PV> good;
+    std::vector<PV> faulty;
+
+    explicit TransitionWorkerState(const Netlist& nl) : sim_v1(nl), sim_v2(nl) {}
+
+    void loadBatch(std::span<const Pattern> v1s, std::span<const Pattern> v2s,
+                   std::size_t base, std::size_t count) {
+        loadPatterns(sim_v1, v1s, base, count);
+        loadPatterns(sim_v2, v2s, base, count);
+        observeInto(sim_v2, good);
+    }
+
+    [[nodiscard]] std::uint64_t launchMask(const TransitionFault& tf) const {
+        const PV at_site = sim_v1.get(tf.net);
+        const std::uint64_t want_one = tf.initialValue() == Logic::One ? ~0ULL : 0;
+        return ~(at_site.v ^ want_one) & ~at_site.x;
+    }
+
+    [[nodiscard]] std::uint64_t detectMask(const TransitionFault& tf, std::uint64_t init_ok,
+                                           std::uint64_t valid) {
+        sim_v2.injectFault(tf.equivalentStuckAt());
+        sim_v2.propagate();
+        observeInto(sim_v2, faulty);
+        const std::uint64_t hit = diffMask(good, faulty) & init_ok & valid;
+        sim_v2.clearFault();
+        return hit;
+    }
+};
+
+} // namespace
+
+FaultSimResult runTransitionFaultSim(const Netlist& nl, std::span<const TwoPattern> tests,
+                                     std::span<const TransitionFault> faults,
+                                     const FaultSimOptions& opts) {
+    FaultSimResult res;
+    res.total = faults.size();
+    res.detected_mask.assign(faults.size(), false);
+    if (tests.empty() || faults.empty()) return res;
+
+    warmCaches(nl);
+    std::vector<Pattern> v1s;
+    std::vector<Pattern> v2s;
+    splitPairs(tests, v1s, v2s);
+
+    DetectedBitmap det(faults.size());
+    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi) {
+                       if (lo == hi) return;
+                       TransitionWorkerState ws(nl);
+                       for (std::size_t base = 0; base < tests.size(); base += 64) {
+                           const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
+                           const std::uint64_t valid = validMask(count);
+                           ws.loadBatch(v1s, v2s, base, count);
+                           for (std::size_t fi = lo; fi < hi; ++fi) {
+                               if (det.test(fi)) continue;
+                               const std::uint64_t init_ok = ws.launchMask(faults[fi]);
+                               if ((init_ok & valid) == 0) continue;
+                               if (ws.detectMask(faults[fi], init_ok, valid)) det.set(fi);
+                           }
+                       }
+                   });
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi)
+        if (det.test(fi)) {
+            res.detected_mask[fi] = true;
+            ++res.detected;
+        }
+    return res;
+}
+
+std::vector<std::size_t> countTransitionDetections(const Netlist& nl,
+                                                   std::span<const TwoPattern> tests,
+                                                   std::span<const TransitionFault> faults,
+                                                   const FaultSimOptions& opts) {
+    std::vector<std::size_t> counts(faults.size(), 0);
+    if (tests.empty() || faults.empty()) return counts;
+
+    warmCaches(nl);
+    std::vector<Pattern> v1s;
+    std::vector<Pattern> v2s;
+    splitPairs(tests, v1s, v2s);
+
+    // No fault dropping (the profile needs every test), and each worker
+    // writes a disjoint slice of `counts`, so no synchronization is needed.
+    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi) {
+                       if (lo == hi) return;
+                       TransitionWorkerState ws(nl);
+                       for (std::size_t base = 0; base < tests.size(); base += 64) {
+                           const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
+                           const std::uint64_t valid = validMask(count);
+                           ws.loadBatch(v1s, v2s, base, count);
+                           for (std::size_t fi = lo; fi < hi; ++fi) {
+                               const std::uint64_t init_ok = ws.launchMask(faults[fi]);
+                               if ((init_ok & valid) == 0) continue;
+                               counts[fi] += static_cast<std::size_t>(
+                                   std::popcount(ws.detectMask(faults[fi], init_ok, valid)));
+                           }
+                       }
+                   });
+    return counts;
+}
+
+} // namespace flh

@@ -1,0 +1,58 @@
+// Multi-threaded fault-simulation engine.
+//
+// The fault list is split into contiguous ranges, one per worker; each
+// worker owns a private PatternSim replica (two for two-pattern tests) and
+// grades only its range, batch-major: for every 64-wide pattern batch the
+// worker loads the batch, snapshots the good machine, then injects each
+// still-undetected fault of its range, propagates the faulty cone
+// event-driven, compares observation points, and rolls the simulator back
+// through the recorded event frontier (PatternSim::clearFault).
+//
+// Fault dropping is shared through an atomic detected bitmap: a worker sets
+// a fault's bit with a relaxed fetch_or on first detection and skips any
+// fault whose bit is already set. Since faults are independent (single-fault
+// assumption) and each fault's verdict is a pure function of the pattern
+// set, the result is deterministic: every thread count produces the same
+// detected mask, bit-identical to the serial engine (threads = 1 runs the
+// identical loop inline, with no pool at all).
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+namespace flh {
+
+/// Tuning knobs for the fault-simulation engine.
+struct FaultSimOptions {
+    /// Worker threads. 1 = run inline on the calling thread (no spawn);
+    /// 0 = one worker per hardware thread.
+    unsigned threads = 1;
+
+    /// Pool shrink floor: never spawn more workers than
+    /// n_faults / min_faults_per_worker — below that the per-worker
+    /// good-machine loads and thread startup dominate the grading work.
+    std::size_t min_faults_per_worker = 64;
+
+    /// Effective worker count for an `n_faults`-sized fault list.
+    [[nodiscard]] unsigned resolveThreads(std::size_t n_faults) const noexcept;
+};
+
+/// Stuck-at grading with fault dropping, partitioned across workers.
+[[nodiscard]] FaultSimResult runStuckAtFaultSim(const Netlist& nl,
+                                                std::span<const Pattern> pats,
+                                                std::span<const FaultSite> faults,
+                                                const FaultSimOptions& opts);
+
+/// Transition grading with fault dropping, partitioned across workers.
+[[nodiscard]] FaultSimResult runTransitionFaultSim(const Netlist& nl,
+                                                   std::span<const TwoPattern> tests,
+                                                   std::span<const TransitionFault> faults,
+                                                   const FaultSimOptions& opts);
+
+/// N-detect profile (no fault dropping): per-test detections are counted
+/// 64 tests at a time via popcount of the batch hit mask, partitioned
+/// across workers (each writes a disjoint slice of the counts).
+[[nodiscard]] std::vector<std::size_t> countTransitionDetections(
+    const Netlist& nl, std::span<const TwoPattern> tests,
+    std::span<const TransitionFault> faults, const FaultSimOptions& opts);
+
+} // namespace flh

@@ -67,18 +67,25 @@ Netlist readBench(std::istream& in, const std::string& name, const Library& lib)
             line = trim(line.substr(0, hash));
         if (line.empty()) continue;
 
-        const auto lparen = line.find('(');
-        const auto rparen = line.rfind(')');
-        if (startsWith(toUpper(std::string(line)), "INPUT")) {
-            if (lparen == std::string_view::npos || rparen == std::string_view::npos)
-                fail(line_no, "malformed INPUT");
-            inputs.emplace_back(trim(line.substr(lparen + 1, rparen - lparen - 1)));
+        // INPUT(n) / OUTPUT(n) declarations. The keyword must be a whole
+        // token — immediately followed by the parenthesized argument — so a
+        // gate whose output name merely starts with it ("INPUT1 = AND(a, b)")
+        // is not swallowed as a declaration.
+        const auto declArg = [&](std::string_view kw) -> std::optional<std::string> {
+            if (line.size() < kw.size() || toUpper(std::string(line.substr(0, kw.size()))) != kw)
+                return std::nullopt;
+            const std::string_view rest = trim(line.substr(kw.size()));
+            if (rest.empty() || rest.front() != '(') return std::nullopt;
+            const auto rp = rest.rfind(')');
+            if (rp == std::string_view::npos) fail(line_no, "malformed declaration");
+            return std::string(trim(rest.substr(1, rp - 1)));
+        };
+        if (auto n = declArg("INPUT")) {
+            inputs.push_back(std::move(*n));
             continue;
         }
-        if (startsWith(toUpper(std::string(line)), "OUTPUT")) {
-            if (lparen == std::string_view::npos || rparen == std::string_view::npos)
-                fail(line_no, "malformed OUTPUT");
-            outputs.emplace_back(trim(line.substr(lparen + 1, rparen - lparen - 1)));
+        if (auto n = declArg("OUTPUT")) {
+            outputs.push_back(std::move(*n));
             continue;
         }
 
@@ -121,6 +128,10 @@ Netlist readBench(std::istream& in, const std::string& name, const Library& lib)
                 if (ins.size() != 1) fail(pg.line, "DFF takes one input");
                 nl.addDff(ins[0], out);
             } else {
+                if (pg.fn == CellFn::Sdff && ins.size() != 3)
+                    fail(pg.line, "SDFF takes three inputs (D, SI, SE)");
+                // addGate registers sequential cells (SDFF included) in
+                // flipFlops(), same as the addDff path.
                 nl.addGate(pg.fn, ins, out);
             }
         } catch (const std::exception& e) {

@@ -17,6 +17,9 @@ void PatternSim::reset() {
     queue_by_level_.assign(static_cast<std::size_t>(nl_->logicDepth()) + 1, {});
     min_pending_level_ = 0;
     fault_active_ = false;
+    fault_ = FaultSite{};
+    undo_.clear();
+    undo_mark_.assign(nl_->netCount(), 0);
     toggles_.assign(nl_->netCount(), 0);
 }
 
@@ -38,6 +41,10 @@ void PatternSim::applyValue(NetId net, PV value) {
         value = PV::all(fault_.stuck_at_one ? Logic::One : Logic::Zero);
     PV& cur = values_[net];
     if (cur == value) return;
+    if (fault_active_ && !undo_mark_[net]) {
+        undo_mark_[net] = 1;
+        undo_.push_back({net, cur});
+    }
     if (count_toggles_) {
         const std::uint64_t flips = (cur.v ^ value.v) & ~cur.x & ~value.x;
         toggles_[net] += static_cast<std::uint64_t>(std::popcount(flips));
@@ -98,30 +105,23 @@ void PatternSim::injectFault(const FaultSite& f) {
     if (f.isPinFault()) {
         schedule(f.gate);
     } else {
-        // Force the stuck value at the net right away, remembering the good
-        // value so clearFault can restore nets without a combinational
-        // driver (primary inputs, flip-flop outputs).
-        pre_fault_value_ = values_[f.net];
+        // Force the stuck value at the net right away; applyValue records
+        // the good value in the undo log before overwriting it.
         applyValue(f.net, values_[f.net]); // applyValue overrides via fault
     }
 }
 
 void PatternSim::clearFault() {
     if (!fault_active_) return;
-    const FaultSite f = fault_;
     fault_active_ = false;
-    // Recompute the affected region with the fault removed.
-    if (f.isPinFault()) {
-        schedule(f.gate);
-        return;
+    // Restore the recorded event frontier: only nets the faulty excursion
+    // touched are written back, nothing is re-evaluated. Toggle counts are
+    // left as counted — the excursion's flips already happened.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        values_[it->net] = it->value;
+        undo_mark_[it->net] = 0;
     }
-    const GateId drv = nl_->net(f.net).driver;
-    if (drv != kInvalidId && !isSequential(nl_->gate(drv).fn)) {
-        schedule(drv); // the driver recomputes the good value
-    } else {
-        // Source net (PI or FF output): restore the saved good value.
-        applyValue(f.net, pre_fault_value_);
-    }
+    undo_.clear();
 }
 
 void PatternSim::enableToggleCount(bool on) { count_toggles_ = on; }

@@ -66,10 +66,19 @@ public:
     [[nodiscard]] bool isHeld(GateId gate) const { return held_.at(gate) != 0; }
 
     // ---- single-fault injection (PPSFP) ---------------------------------
-    /// Activate a stuck-at fault for subsequent propagation. Pass
-    /// std::nullopt semantics via clearFault(). The fault applies to all 64
-    /// pattern slots.
+    /// Activate a stuck-at fault for subsequent propagation. The fault
+    /// applies to all 64 pattern slots. While a fault is active every net
+    /// change is recorded in an undo log (at most one entry per net), so
+    /// clearFault can restore the pre-fault state without re-propagating.
+    /// Inject from a quiescent (fully propagated) state.
     void injectFault(const FaultSite& f);
+
+    /// Deactivate the fault and roll the simulator back to the exact state
+    /// it had when injectFault was called, by restoring the recorded event
+    /// frontier — only the nets the faulty excursion actually touched are
+    /// written; nothing is re-evaluated. setNet calls made while the fault
+    /// was active are rolled back too; sessions that keep a fault active
+    /// permanently (BIST, PODEM) discard the log via reset() instead.
     void clearFault();
 
     // ---- toggle accounting ----------------------------------------------
@@ -97,7 +106,15 @@ private:
 
     bool fault_active_ = false;
     FaultSite fault_{};
-    PV pre_fault_value_{}; ///< net faults: value to restore on clearFault
+    /// Event-frontier undo log: pre-fault value of every net the faulty
+    /// excursion touched, recorded on first change. clearFault restores
+    /// these directly instead of re-propagating the good cone.
+    struct FaultUndo {
+        NetId net;
+        PV value;
+    };
+    std::vector<FaultUndo> undo_;
+    std::vector<std::uint8_t> undo_mark_; ///< per net: already in undo_
 
     bool count_toggles_ = false;
     std::vector<std::uint64_t> toggles_;

@@ -1,8 +1,10 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/netlist.hpp"
+#include "dft/scan.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace flh {
@@ -211,6 +213,87 @@ TEST(BenchIo, SdffRoundTrips) {
     EXPECT_EQ(nl.gate(0).fn, CellFn::Sdff);
     const Netlist back = readBenchString(writeBenchString(nl), "t", lib());
     EXPECT_EQ(back.flipFlops().size(), 1u);
+}
+
+TEST(BenchIo, SdffWrongArityRejected) {
+    EXPECT_THROW(
+        (void)readBenchString("INPUT(d)\nOUTPUT(q)\nq = SDFF(d)\n", "t", lib()),
+        std::runtime_error);
+}
+
+TEST(BenchIo, NetNamesStartingWithKeywordsAreNotDeclarations) {
+    // Regression: prefix matching used to swallow these gate lines as
+    // INPUT/OUTPUT declarations.
+    const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+INPUT1 = AND(a, b)
+OUTPUTX = NOT(INPUT1)
+y = NOR(OUTPUTX, b)
+)";
+    const Netlist nl = readBenchString(text, "t", lib());
+    EXPECT_EQ(nl.pis().size(), 2u);
+    EXPECT_EQ(nl.pos().size(), 1u);
+    EXPECT_EQ(nl.combGates().size(), 3u);
+    ASSERT_TRUE(nl.findNet("INPUT1").has_value());
+    EXPECT_EQ(nl.gate(nl.net(*nl.findNet("INPUT1")).driver).fn, CellFn::And);
+    ASSERT_TRUE(nl.findNet("OUTPUTX").has_value());
+    // Whitespace between the keyword and '(' is still a declaration; a
+    // non-'(' continuation is not.
+    const Netlist ws = readBenchString("INPUT (a)\nOUTPUT (y)\ny = NOT(a)\n", "t", lib());
+    EXPECT_EQ(ws.pis().size(), 1u);
+    EXPECT_THROW((void)readBenchString("INPUTS(a)\n", "t", lib()), std::runtime_error);
+}
+
+TEST(BenchIo, ScannedNetlistRoundTripsThroughBench) {
+    // Full DFF -> SDFF scan insertion must survive writeBench -> readBench:
+    // same scan structure, flip-flops registered, canonical re-emit.
+    Netlist nl = tiny();
+    const ScanInfo info = insertScan(nl);
+    ASSERT_TRUE(isFullScan(nl));
+
+    const std::string text = writeBenchString(nl);
+    const Netlist back = readBenchString(text, "tiny", lib());
+    EXPECT_EQ(back.netCount(), nl.netCount());
+    EXPECT_EQ(back.gateCount(), nl.gateCount());
+    ASSERT_EQ(back.flipFlops().size(), nl.flipFlops().size());
+    EXPECT_TRUE(isFullScan(back));
+    for (std::size_t i = 0; i < nl.flipFlops().size(); ++i) {
+        const Gate& a = nl.gate(nl.flipFlops()[i]);
+        const Gate& b = back.gate(back.flipFlops()[i]);
+        EXPECT_EQ(b.fn, CellFn::Sdff);
+        ASSERT_EQ(b.inputs.size(), 3u);
+        for (std::size_t p = 0; p < 3; ++p)
+            EXPECT_EQ(back.net(b.inputs[p]).name, nl.net(a.inputs[p]).name);
+        EXPECT_EQ(back.net(b.output).name, nl.net(a.output).name);
+    }
+    // Scan ports survive: TC and SCAN_IN as PIs, SCAN_OUT as PO.
+    EXPECT_TRUE(back.findNet("TC").has_value());
+    EXPECT_TRUE(back.findNet("SCAN_IN").has_value());
+    const auto so = back.findNet(nl.net(info.scan_out).name);
+    ASSERT_TRUE(so.has_value());
+    EXPECT_NE(std::find(back.pos().begin(), back.pos().end(), *so), back.pos().end());
+    EXPECT_EQ(writeBenchString(back), text);
+}
+
+TEST(BenchIo, MixedDffSdffRoundTrip) {
+    Netlist nl("mix", lib());
+    const NetId a = nl.addPi("a");
+    const NetId se = nl.addPi("se");
+    const NetId q1 = nl.addNet("q1");
+    const NetId q2 = nl.addNet("q2");
+    const NetId d = nl.addNet("d");
+    nl.addGate(CellFn::Inv, {a}, d);
+    nl.addDff(d, q1);
+    nl.addGate(CellFn::Sdff, {d, q1, se}, q2);
+    nl.markPo(q2);
+
+    const Netlist back = readBenchString(writeBenchString(nl), "mix", lib());
+    ASSERT_EQ(back.flipFlops().size(), 2u);
+    EXPECT_EQ(back.gate(back.flipFlops()[0]).fn, CellFn::Dff);
+    EXPECT_EQ(back.gate(back.flipFlops()[1]).fn, CellFn::Sdff);
+    EXPECT_EQ(writeBenchString(back), writeBenchString(nl));
 }
 
 TEST(Netlist, ReplaceGateValidation) {

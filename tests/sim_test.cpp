@@ -171,6 +171,97 @@ TEST(PatternSim, PinStuckFaultAffectsOnlyThatBranch) {
     EXPECT_EQ(sim.get(y2), PV::all(Logic::One));  // healthy branch
 }
 
+TEST(PatternSim, ClearFaultRestoresExactPreInjectState) {
+    // clearFault restores via the recorded event frontier: every net must
+    // come back bit-exact immediately, with no propagate() needed.
+    const Netlist nl = makeS27(lib());
+    PatternSim sim(nl);
+    Rng rng(606);
+    applySources(sim, randomSources(nl, rng));
+    sim.propagate();
+    std::vector<PV> before(nl.netCount());
+    for (NetId n = 0; n < nl.netCount(); ++n) before[n] = sim.get(n);
+
+    for (const FaultSite& f : {
+             FaultSite{nl.gate(nl.topoOrder()[0]).output, kInvalidId, -1, true},
+             FaultSite{nl.pis()[0], kInvalidId, -1, false},
+             FaultSite{nl.gate(nl.topoOrder()[1]).inputs[0], nl.topoOrder()[1], 0, true},
+         }) {
+        sim.injectFault(f);
+        sim.propagate();
+        sim.clearFault();
+        for (NetId n = 0; n < nl.netCount(); ++n)
+            ASSERT_EQ(sim.get(n), before[n]) << "net " << nl.net(n).name;
+        // A follow-up propagate must also be a no-op.
+        sim.propagate();
+        for (NetId n = 0; n < nl.netCount(); ++n) ASSERT_EQ(sim.get(n), before[n]);
+    }
+}
+
+TEST(PatternSim, ResetClearsFaultState) {
+    // Regression: a net-fault restore value recorded before reset() must not
+    // leak into a clearFault() issued after the reset.
+    const Netlist nl = makeS27(lib());
+    PatternSim sim(nl);
+    Rng rng(707);
+    const auto src_a = randomSources(nl, rng);
+    applySources(sim, src_a);
+    sim.propagate();
+
+    FaultSite f;
+    f.net = nl.pis()[0]; // source net: old code restored a saved value
+    f.stuck_at_one = true;
+    sim.injectFault(f);
+    sim.propagate();
+
+    sim.reset();
+    const auto src_b = randomSources(nl, rng);
+    applySources(sim, src_b);
+    sim.propagate();
+    sim.clearFault(); // no fault active: must be a complete no-op
+    sim.propagate();
+
+    PatternSim ref(nl);
+    applySources(ref, src_b);
+    ref.propagate();
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        EXPECT_EQ(sim.get(n), ref.get(n)) << "net " << nl.net(n).name;
+}
+
+TEST(PatternSim, ResetThenReinjectGradesCleanly) {
+    // PODEM-style usage: reset, re-inject, assign sources with the fault
+    // active. The stale undo log from before the reset must be gone.
+    const Netlist nl = makeS27(lib());
+    PatternSim sim(nl);
+    Rng rng(808);
+    applySources(sim, randomSources(nl, rng));
+    sim.propagate();
+    FaultSite f;
+    f.net = nl.gate(nl.topoOrder()[0]).output;
+    f.stuck_at_one = true;
+    sim.injectFault(f);
+    sim.propagate();
+
+    sim.reset();
+    sim.injectFault(f);
+    const auto src = randomSources(nl, rng);
+    applySources(sim, src);
+    sim.propagate();
+    EXPECT_EQ(sim.get(f.net), PV::all(Logic::One)); // fault holds
+
+    // clearFault rolls back to the post-reset state (the sources were set
+    // while the fault was active); re-applying them must give the good
+    // machine with no residue of the faulty excursion.
+    sim.clearFault();
+    applySources(sim, src);
+    sim.propagate();
+    PatternSim ref(nl);
+    applySources(ref, src);
+    ref.propagate();
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        EXPECT_EQ(sim.get(n), ref.get(n)) << "net " << nl.net(n).name;
+}
+
 TEST(PatternSim, ToggleCounting) {
     Netlist nl("t", lib());
     const NetId a = nl.addPi("a");
