@@ -2,15 +2,23 @@
 // and analysis kernels underlying every experiment: event-driven logic
 // simulation, parallel-pattern fault simulation, STA, power analysis, and
 // the analog transient stepper.
+// Besides the console output, every run exports
+// BENCH_kernel_throughput.json — per-benchmark real time and faults/sec
+// (items_per_second) keyed by engine and thread count — so the performance
+// trajectory stays machine-readable across PRs.
 #include "bench_util.hpp"
 #include "analog/flh_chain.hpp"
 #include "fault/fault_sim.hpp"
 #include "fault/parallel_sim.hpp"
 #include "power/power.hpp"
 #include "sta/timing.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
 
 using namespace flh;
 using namespace flh::bench;
@@ -164,6 +172,67 @@ void BM_ScanShiftSim(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanShiftSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally collects every iteration run and
+/// writes the compact JSON export into the working directory.
+class JsonExportReporter final : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& runs) override {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run& run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            Entry e;
+            e.name = run.benchmark_name();
+            e.real_time_ns = run.GetAdjustedRealTime() *
+                             benchmark::GetTimeUnitMultiplier(benchmark::kNanosecond) /
+                             benchmark::GetTimeUnitMultiplier(run.time_unit);
+            if (const auto it = run.counters.find("items_per_second");
+                it != run.counters.end())
+                e.items_per_second = it->second;
+            entries_.push_back(std::move(e));
+        }
+    }
+
+    void Finalize() override {
+        benchmark::ConsoleReporter::Finalize();
+        JsonWriter w;
+        w.beginObject();
+        w.kv("schema", "flh.bench.kernel_throughput/1");
+        w.key("benchmarks");
+        w.beginArray();
+        for (const Entry& e : entries_) {
+            w.beginObject();
+            w.kv("name", e.name);
+            w.kv("real_time_ns", e.real_time_ns);
+            if (e.items_per_second > 0) w.kv("items_per_second", e.items_per_second);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::ofstream out("BENCH_kernel_throughput.json", std::ios::trunc);
+        out << w.str() << "\n";
+        if (out)
+            std::cerr << "wrote BENCH_kernel_throughput.json (" << entries_.size()
+                      << " benchmarks)\n";
+        else
+            std::cerr << "failed to write BENCH_kernel_throughput.json\n";
+    }
+
+private:
+    struct Entry {
+        std::string name;
+        double real_time_ns = 0.0;
+        double items_per_second = 0.0;
+    };
+    std::vector<Entry> entries_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    JsonExportReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

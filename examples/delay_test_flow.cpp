@@ -37,24 +37,16 @@ int main(int argc, char** argv) {
     std::cout << "Application audit: " << faithful << "/" << n_apply
               << " tests applied with intact hold, faithful launch, correct capture\n\n";
 
-    // 3. Demonstrate detection: for a handful of faults, check that the test
-    //    set distinguishes the faulty machine (its launched transition never
-    //    arrives) from the good one.
-    TextTable table({"Fault", "Detected by test #", "Observation"});
+    // 3. Demonstrate detection: one batched n-detect pass grades every
+    //    (fault, test) combination at once — no per-pair re-simulation.
+    const std::vector<std::size_t> n_det = countTransitionDetections(nl, atpg.tests, faults);
+    TextTable table({"Fault", "Detected by # tests", "Observation"});
     int shown = 0;
     for (std::size_t fi = 0; fi < faults.size() && shown < 6; ++fi) {
-        if (!atpg.coverage.detected_mask[fi]) continue;
-        // Find the first test that catches it.
-        for (std::size_t ti = 0; ti < atpg.tests.size(); ++ti) {
-            const TwoPattern one[1] = {atpg.tests[ti]};
-            const TransitionFault f[1] = {faults[fi]};
-            if (runTransitionFaultSim(nl, one, f).detected == 1) {
-                table.addRow({toString(nl, faults[fi]), std::to_string(ti),
-                              "captured response differs from good machine"});
-                ++shown;
-                break;
-            }
-        }
+        if (!atpg.coverage.detected_mask[fi] || n_det[fi] == 0) continue;
+        table.addRow({toString(nl, faults[fi]), std::to_string(n_det[fi]),
+                      "captured response differs from good machine"});
+        ++shown;
     }
     std::cout << "Sample detections:\n" << table.render();
     std::cout << "\nThe same vectors applied with enhanced-scan hardware give identical\n"

@@ -1,0 +1,92 @@
+#include "flow/artifact.hpp"
+
+#include "util/json.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace flh {
+
+namespace {
+
+constexpr std::string_view kMagic = "FLHART1\n";
+
+void appendEntry(std::string& out, char tag, const std::string& key, const std::string& value) {
+    out += tag;
+    out += ' ';
+    out += key; // keys are identifiers chosen by stage code: no spaces/newlines
+    out += ' ';
+    out += std::to_string(value.size());
+    out += '\n';
+    out += value;
+    out += '\n';
+}
+
+[[noreturn]] void malformed(const char* what) {
+    throw std::runtime_error(std::string("malformed artifact: ") + what);
+}
+
+} // namespace
+
+void Artifact::setNum(const std::string& key, double value) { meta_[key] = formatNumber(value); }
+
+void Artifact::setInt(const std::string& key, std::int64_t value) {
+    meta_[key] = std::to_string(value);
+}
+
+double Artifact::num(const std::string& key) const {
+    const std::string& s = meta_.at(key);
+    double v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size())
+        throw std::runtime_error("artifact meta '" + key + "' is not numeric: " + s);
+    return v;
+}
+
+std::int64_t Artifact::integer(const std::string& key) const {
+    const std::string& s = meta_.at(key);
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size())
+        throw std::runtime_error("artifact meta '" + key + "' is not an integer: " + s);
+    return v;
+}
+
+std::string Artifact::serialize() const {
+    std::string out{kMagic};
+    for (const auto& [k, v] : meta_) appendEntry(out, 'M', k, v);
+    for (const auto& [k, v] : blobs_) appendEntry(out, 'B', k, v);
+    return out;
+}
+
+Artifact Artifact::deserialize(std::string_view bytes) {
+    if (!bytes.starts_with(kMagic)) malformed("bad magic");
+    std::size_t pos = kMagic.size();
+    Artifact art;
+    while (pos < bytes.size()) {
+        const char tag = bytes[pos];
+        if ((tag != 'M' && tag != 'B') || pos + 1 >= bytes.size() || bytes[pos + 1] != ' ')
+            malformed("bad entry tag");
+        pos += 2;
+        const std::size_t key_end = bytes.find(' ', pos);
+        if (key_end == std::string_view::npos) malformed("unterminated key");
+        const std::string key{bytes.substr(pos, key_end - pos)};
+        pos = key_end + 1;
+        const std::size_t len_end = bytes.find('\n', pos);
+        if (len_end == std::string_view::npos) malformed("unterminated length");
+        std::size_t len = 0;
+        const std::string_view len_sv = bytes.substr(pos, len_end - pos);
+        const auto [p, ec] = std::from_chars(len_sv.data(), len_sv.data() + len_sv.size(), len);
+        if (ec != std::errc() || p != len_sv.data() + len_sv.size()) malformed("bad length");
+        pos = len_end + 1;
+        if (pos + len + 1 > bytes.size() || bytes[pos + len] != '\n')
+            malformed("truncated value");
+        std::string value{bytes.substr(pos, len)};
+        pos += len + 1;
+        auto& dest = (tag == 'M') ? art.meta_ : art.blobs_;
+        if (!dest.emplace(key, std::move(value)).second) malformed("duplicate key");
+    }
+    return art;
+}
+
+} // namespace flh

@@ -1,0 +1,63 @@
+// Stage artifact: the serializable result every flow stage produces.
+//
+// An artifact is two ordered string maps: `meta` for small scalar metrics
+// (counts, percentages — everything that lands in the run report) and
+// `blobs` for bulk payloads passed between stages (netlist text, serialized
+// test sets). Ordering is by key (std::map), and doubles are formatted
+// through formatNumber, so serialization is canonical: equal artifacts
+// serialize to identical bytes, which is what makes the content-addressed
+// cache and the bit-identical-report guarantee work.
+#pragma once
+
+#include "flow/hash.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace flh {
+
+class Artifact {
+public:
+    // ---- writing -------------------------------------------------------
+    void setStr(const std::string& key, std::string value) { meta_[key] = std::move(value); }
+    void setNum(const std::string& key, double value);
+    void setInt(const std::string& key, std::int64_t value);
+    void setBlob(const std::string& name, std::string bytes) { blobs_[name] = std::move(bytes); }
+
+    // ---- reading (throws std::out_of_range on missing keys) ------------
+    [[nodiscard]] const std::string& str(const std::string& key) const { return meta_.at(key); }
+    [[nodiscard]] double num(const std::string& key) const;
+    [[nodiscard]] std::int64_t integer(const std::string& key) const;
+    [[nodiscard]] const std::string& blob(const std::string& name) const {
+        return blobs_.at(name);
+    }
+    [[nodiscard]] bool hasMeta(const std::string& key) const { return meta_.contains(key); }
+    [[nodiscard]] bool hasBlob(const std::string& name) const { return blobs_.contains(name); }
+
+    [[nodiscard]] const std::map<std::string, std::string>& meta() const noexcept {
+        return meta_;
+    }
+    [[nodiscard]] const std::map<std::string, std::string>& blobs() const noexcept {
+        return blobs_;
+    }
+
+    [[nodiscard]] bool operator==(const Artifact&) const noexcept = default;
+
+    // ---- canonical serialization ---------------------------------------
+    /// Length-prefixed text format (see cache.hpp for the on-disk layout).
+    [[nodiscard]] std::string serialize() const;
+
+    /// Inverse of serialize(). Throws std::runtime_error on malformed input.
+    [[nodiscard]] static Artifact deserialize(std::string_view bytes);
+
+    /// Content digest of the canonical serialization.
+    [[nodiscard]] Hash128 digest() const { return contentHash(serialize()); }
+
+private:
+    std::map<std::string, std::string> meta_;
+    std::map<std::string, std::string> blobs_;
+};
+
+} // namespace flh

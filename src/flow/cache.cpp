@@ -1,0 +1,61 @@
+#include "flow/cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace flh {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+    if (dir_.empty()) throw std::runtime_error("ResultCache: empty directory");
+}
+
+std::string ResultCache::pathFor(const std::string& key) const {
+    if (key.size() < 3) throw std::runtime_error("ResultCache: bad key '" + key + "'");
+    return dir_ + "/" + key.substr(0, 2) + "/" + key + ".art";
+}
+
+std::optional<Artifact> ResultCache::load(const std::string& key) const {
+    std::ifstream in(pathFor(key), std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return Artifact::deserialize(buf.str());
+    } catch (const std::exception&) {
+        return std::nullopt; // corrupt entry == miss; store() will replace it
+    }
+}
+
+bool ResultCache::contains(const std::string& key) const {
+    return fs::exists(pathFor(key));
+}
+
+void ResultCache::store(const std::string& key, const Artifact& art) const {
+    const fs::path path = pathFor(key);
+    fs::create_directories(path.parent_path());
+
+    // Unique temp name per store call: concurrent workers (or concurrent
+    // flh_flow processes sharing one cache) must not clobber each other's
+    // in-flight writes. The final rename is atomic either way.
+    static std::atomic<std::uint64_t> counter{0};
+    const fs::path tmp =
+        path.parent_path() / (key + ".tmp" + std::to_string(counter.fetch_add(1)) + "." +
+                              std::to_string(static_cast<std::uint64_t>(::getpid())));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("ResultCache: cannot write " + tmp.string());
+        const std::string bytes = art.serialize();
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        if (!out) throw std::runtime_error("ResultCache: short write to " + tmp.string());
+    }
+    fs::rename(tmp, path);
+}
+
+} // namespace flh

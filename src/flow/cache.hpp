@@ -1,0 +1,52 @@
+// Persistent content-addressed result cache.
+//
+// Key scheme (see DESIGN.md Section 9): a stage's cache key is the 128-bit
+// content hash of
+//
+//   code version ++ stage name ++ stage config ++ design source text
+//                ++ design attributes ++ cache keys of every dependency
+//
+// each component length-prefixed. Dependency keys chain, so editing a
+// stage's config (or the netlist text) re-keys exactly that stage and its
+// downstream cone — everything else is served from cache. Artifacts are
+// stored one file per key under `<dir>/<first 2 hex>/<key>.art`, written to
+// a temp file and atomically renamed so a killed run never leaves a
+// half-written (and thus poisoned) entry; that rename is also what makes
+// interrupted sweeps resumable.
+#pragma once
+
+#include "flow/artifact.hpp"
+
+#include <optional>
+#include <string>
+
+namespace flh {
+
+/// Bump when stage semantics change in a way that must invalidate all
+/// previously cached artifacts (part of every cache key).
+inline constexpr std::string_view kFlowCodeVersion = "flh-flow-1";
+
+class ResultCache {
+public:
+    /// Opens (and lazily creates) the cache rooted at `dir`.
+    explicit ResultCache(std::string dir);
+
+    [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+    /// Load the artifact stored under `key` (32 hex chars), or nullopt on
+    /// miss. A corrupt entry is treated as a miss (it will be overwritten).
+    [[nodiscard]] std::optional<Artifact> load(const std::string& key) const;
+
+    /// Store `art` under `key` (atomic: temp file + rename).
+    void store(const std::string& key, const Artifact& art) const;
+
+    /// True if an entry exists for `key`.
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+private:
+    [[nodiscard]] std::string pathFor(const std::string& key) const;
+
+    std::string dir_;
+};
+
+} // namespace flh

@@ -1,0 +1,309 @@
+#include "flow/engine.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+namespace flh {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Per-(design, stage) scheduling state shared by the workers.
+struct TaskTable {
+    const FlowGraph& graph;
+    std::span<const DesignInput> designs;
+    std::vector<std::vector<std::size_t>> dep_idx;       ///< stage -> dep stage indices
+    std::vector<std::vector<std::size_t>> dependents;    ///< stage -> dependent stage indices
+    std::vector<int> pending;                            ///< per task: unfinished deps
+    std::vector<StageRecord> records;                    ///< per task
+
+    [[nodiscard]] std::size_t taskId(std::size_t design, std::size_t stage) const noexcept {
+        return design * graph.size() + stage;
+    }
+};
+
+void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultCache* cache,
+             const FlowOptions& opts) {
+    const StageDef& def = tt.graph.stages()[stage];
+    const DesignInput& input = tt.designs[design];
+    StageRecord& rec = tt.records[tt.taskId(design, stage)];
+    rec.design = input.name;
+    rec.stage = def.name;
+
+    // Upstream failure poisons the cone without running anything.
+    for (const std::size_t d : tt.dep_idx[stage]) {
+        const StageRecord& dep = tt.records[tt.taskId(design, d)];
+        if (dep.failed) {
+            rec.failed = true;
+            rec.error = "skipped: upstream stage '" + dep.stage + "' failed";
+            return;
+        }
+    }
+
+    // Cache key: code version + stage identity + design content + dep keys,
+    // all length-prefixed (see cache.hpp).
+    ContentHasher h;
+    h.field(kFlowCodeVersion).field(def.name).field(def.config);
+    h.field(input.source).field(input.attrs);
+    for (const std::size_t d : tt.dep_idx[stage]) h.field(tt.records[tt.taskId(design, d)].key);
+    rec.key = h.digest().hex();
+
+    const auto start = Clock::now();
+    try {
+        if (cache) {
+            if (auto hit = cache->load(rec.key)) {
+                rec.artifact = std::move(*hit);
+                rec.cache_hit = true;
+            }
+        }
+        if (!rec.cache_hit) {
+            StageContext ctx(input.name, input.source, input.attrs, opts.sim_threads);
+            for (const std::size_t d : tt.dep_idx[stage])
+                ctx.addInput(tt.graph.stages()[d].name,
+                             &tt.records[tt.taskId(design, d)].artifact);
+            rec.artifact = def.run(ctx);
+            if (cache) cache->store(rec.key, rec.artifact);
+        }
+        rec.digest = rec.artifact.digest().hex();
+        // Throughput is only meaningful when the work actually ran; a cache
+        // replay would otherwise report absurd faults/sec.
+        if (!rec.cache_hit && rec.artifact.hasMeta("work_items"))
+            rec.work_items = rec.artifact.num("work_items");
+    } catch (const std::exception& e) {
+        rec.failed = true;
+        rec.error = e.what();
+    }
+    rec.wall_ms = msSince(start);
+}
+
+} // namespace
+
+RunReport runFlow(const FlowGraph& graph, std::span<const DesignInput> designs,
+                  const FlowOptions& opts) {
+    if (graph.size() == 0) throw std::invalid_argument("runFlow: empty graph");
+
+    TaskTable tt{graph, designs, {}, {}, {}, {}};
+    const std::size_t n_stages = graph.size();
+    tt.dep_idx.resize(n_stages);
+    tt.dependents.resize(n_stages);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+        for (const std::string& dep : graph.stages()[s].deps) {
+            const std::size_t d = graph.indexOf(dep);
+            tt.dep_idx[s].push_back(d);
+            tt.dependents[d].push_back(s);
+        }
+    }
+    const std::size_t n_tasks = designs.size() * n_stages;
+    tt.pending.resize(n_tasks);
+    tt.records.resize(n_tasks);
+
+    std::optional<ResultCache> cache;
+    if (opts.use_cache) cache.emplace(opts.cache_dir);
+    const ResultCache* cache_ptr = cache ? &*cache : nullptr;
+
+    // Seed the ready queue with all dependency-free tasks, design-major so a
+    // small pool starts pipelining early stages of many designs at once.
+    std::deque<std::size_t> ready;
+    for (std::size_t dsn = 0; dsn < designs.size(); ++dsn) {
+        for (std::size_t s = 0; s < n_stages; ++s) {
+            const std::size_t t = tt.taskId(dsn, s);
+            tt.pending[t] = static_cast<int>(tt.dep_idx[s].size());
+            if (tt.pending[t] == 0) ready.push_back(t);
+        }
+    }
+
+    unsigned n_workers = opts.threads == 0
+                             ? std::max(1u, std::thread::hardware_concurrency())
+                             : opts.threads;
+    n_workers = static_cast<unsigned>(
+        std::min<std::size_t>(n_workers, std::max<std::size_t>(1, n_tasks)));
+
+    if (n_workers <= 1) {
+        // Inline path: no pool, plain FIFO over the ready queue.
+        while (!ready.empty()) {
+            const std::size_t t = ready.front();
+            ready.pop_front();
+            const std::size_t dsn = t / n_stages;
+            const std::size_t s = t % n_stages;
+            runTask(tt, dsn, s, cache_ptr, opts);
+            for (const std::size_t dep_s : tt.dependents[s])
+                if (--tt.pending[tt.taskId(dsn, dep_s)] == 0) ready.push_back(tt.taskId(dsn, dep_s));
+        }
+    } else {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t done = 0;
+
+        const auto worker = [&] {
+            std::unique_lock<std::mutex> lock(mu);
+            for (;;) {
+                if (done == n_tasks) return;
+                if (ready.empty()) {
+                    cv.wait(lock, [&] { return !ready.empty() || done == n_tasks; });
+                    continue;
+                }
+                const std::size_t t = ready.front();
+                ready.pop_front();
+                const std::size_t dsn = t / n_stages;
+                const std::size_t s = t % n_stages;
+                lock.unlock();
+                runTask(tt, dsn, s, cache_ptr, opts);
+                lock.lock();
+                ++done;
+                bool woke_any = false;
+                for (const std::size_t dep_s : tt.dependents[s]) {
+                    if (--tt.pending[tt.taskId(dsn, dep_s)] == 0) {
+                        ready.push_back(tt.taskId(dsn, dep_s));
+                        woke_any = true;
+                    }
+                }
+                if (done == n_tasks || woke_any) cv.notify_all();
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (unsigned i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+        for (std::thread& th : pool) th.join();
+    }
+
+    return RunReport(std::string(kFlowCodeVersion), std::move(tt.records), n_workers,
+                     opts.sim_threads);
+}
+
+// ---- RunReport ---------------------------------------------------------
+
+RunReport::RunReport(std::string code_version, std::vector<StageRecord> records,
+                     unsigned threads, unsigned sim_threads)
+    : code_version_(std::move(code_version)), records_(std::move(records)), threads_(threads),
+      sim_threads_(sim_threads) {
+    // Records arrive design-major in input order with stages in graph order;
+    // sort by design *name* so the report does not depend on CLI list order.
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const StageRecord& a, const StageRecord& b) { return a.design < b.design; });
+}
+
+std::size_t RunReport::hits() const noexcept {
+    std::size_t n = 0;
+    for (const StageRecord& r : records_) n += r.cache_hit ? 1 : 0;
+    return n;
+}
+
+std::size_t RunReport::misses() const noexcept {
+    std::size_t n = 0;
+    for (const StageRecord& r : records_) n += (!r.cache_hit && !r.failed) ? 1 : 0;
+    return n;
+}
+
+std::size_t RunReport::failures() const noexcept {
+    std::size_t n = 0;
+    for (const StageRecord& r : records_) n += r.failed ? 1 : 0;
+    return n;
+}
+
+double RunReport::hitRate() const noexcept {
+    const std::size_t graded = hits() + misses();
+    return graded ? static_cast<double>(hits()) / static_cast<double>(graded) : 0.0;
+}
+
+double RunReport::totalWallMs() const noexcept {
+    double ms = 0;
+    for (const StageRecord& r : records_) ms += r.wall_ms;
+    return ms;
+}
+
+std::int64_t RunReport::peakTests() const noexcept {
+    std::int64_t peak = 0;
+    for (const StageRecord& r : records_)
+        if (r.artifact.hasMeta("n_tests"))
+            peak = std::max<std::int64_t>(peak, r.artifact.integer("n_tests"));
+    return peak;
+}
+
+std::string RunReport::reportJson() const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.flow.report/1");
+    w.kv("code_version", code_version_);
+    w.key("stages");
+    w.beginArray();
+    for (const StageRecord& r : records_) {
+        w.beginObject();
+        w.kv("design", r.design);
+        w.kv("stage", r.stage);
+        w.kv("key", r.key);
+        if (r.failed) {
+            w.kv("error", r.error);
+        } else {
+            w.kv("artifact", r.digest);
+            w.key("metrics");
+            w.beginObject();
+            for (const auto& [k, v] : r.artifact.meta()) w.kv(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string RunReport::profileJson() const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.flow.profile/1");
+    w.kv("threads", static_cast<std::int64_t>(threads_));
+    w.kv("sim_threads", static_cast<std::int64_t>(sim_threads_));
+    w.kv("tasks", records_.size());
+    w.kv("cache_hits", hits());
+    w.kv("cache_misses", misses());
+    w.kv("failures", failures());
+    w.kv("hit_rate", hitRate());
+    w.kv("total_wall_ms", totalWallMs());
+    w.kv("peak_tests", peakTests());
+    w.key("stages");
+    w.beginArray();
+    for (const StageRecord& r : records_) {
+        w.beginObject();
+        w.kv("design", r.design);
+        w.kv("stage", r.stage);
+        w.kv("cache", r.failed ? "failed" : (r.cache_hit ? "hit" : "miss"));
+        w.kv("wall_ms", r.wall_ms);
+        if (r.work_items > 0 && r.wall_ms > 0)
+            w.kv("items_per_second", r.work_items / (r.wall_ms / 1000.0));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+TextTable RunReport::table() const {
+    TextTable t({"Design", "Stage", "Cache", "Wall ms", "Items/s", "Key"});
+    std::string last_design;
+    for (const StageRecord& r : records_) {
+        if (!last_design.empty() && r.design != last_design) t.addRule();
+        last_design = r.design;
+        const double ips = (r.work_items > 0 && r.wall_ms > 0)
+                               ? r.work_items / (r.wall_ms / 1000.0)
+                               : 0.0;
+        t.addRow({r.design, r.stage, r.failed ? "FAILED" : (r.cache_hit ? "hit" : "miss"),
+                  fmt(r.wall_ms, 2), ips > 0 ? fmt(ips, 0) : "-", r.key.substr(0, 12)});
+    }
+    return t;
+}
+
+} // namespace flh

@@ -1,0 +1,60 @@
+#include "flow/graph.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace flh {
+
+const Artifact& StageContext::input(const std::string& stage) const {
+    for (const auto& [name, art] : inputs_)
+        if (name == stage) return *art;
+    throw std::out_of_range("stage '" + stage + "' is not a declared dependency");
+}
+
+double StageContext::attrNum(const std::string& key, double fallback) const {
+    // attrs are "k=v;k=v;..." — small enough that a linear scan is fine.
+    std::size_t pos = 0;
+    while (pos < attrs_.size()) {
+        std::size_t end = attrs_.find(';', pos);
+        if (end == std::string::npos) end = attrs_.size();
+        const std::string_view entry{attrs_.data() + pos, end - pos};
+        const std::size_t eq = entry.find('=');
+        if (eq != std::string_view::npos && entry.substr(0, eq) == key) {
+            const std::string_view val = entry.substr(eq + 1);
+            double v = fallback;
+            const auto [p, ec] = std::from_chars(val.data(), val.data() + val.size(), v);
+            if (ec == std::errc() && p == val.data() + val.size()) return v;
+            return fallback;
+        }
+        pos = end + 1;
+    }
+    return fallback;
+}
+
+FlowGraph& FlowGraph::addStage(StageDef def) {
+    if (def.name.empty()) throw std::invalid_argument("stage name must not be empty");
+    if (!def.run) throw std::invalid_argument("stage '" + def.name + "' has no run function");
+    if (hasStage(def.name)) throw std::invalid_argument("duplicate stage '" + def.name + "'");
+    for (const std::string& d : def.deps) {
+        if (d == def.name) throw std::invalid_argument("stage '" + def.name + "' depends on itself");
+        if (!hasStage(d))
+            throw std::invalid_argument("stage '" + def.name + "' depends on unknown stage '" + d +
+                                        "' (stages must be added in dependency order)");
+    }
+    stages_.push_back(std::move(def));
+    return *this;
+}
+
+std::size_t FlowGraph::indexOf(const std::string& name) const {
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+        if (stages_[i].name == name) return i;
+    throw std::out_of_range("unknown stage '" + name + "'");
+}
+
+bool FlowGraph::hasStage(const std::string& name) const {
+    for (const StageDef& s : stages_)
+        if (s.name == name) return true;
+    return false;
+}
+
+} // namespace flh

@@ -1,0 +1,59 @@
+#include "flow/hash.hpp"
+
+namespace flh {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrimeA = 0x100000001b3ULL;
+constexpr std::uint64_t kFnvPrimeB = 0x00000100000001b5ULL; // distinct odd multiplier
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string Hash128::hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    for (int i = 0; i < 16; ++i) out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+    return out;
+}
+
+ContentHasher& ContentHasher::update(std::string_view bytes) noexcept {
+    for (const char c : bytes) {
+        const auto u = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        a_ = (a_ ^ u) * kFnvPrimeA;
+        b_ = (b_ ^ u) * kFnvPrimeB;
+    }
+    return *this;
+}
+
+ContentHasher& ContentHasher::field(std::string_view bytes) noexcept {
+    std::uint64_t len = bytes.size();
+    char prefix[8];
+    for (int i = 0; i < 8; ++i) {
+        prefix[i] = static_cast<char>(len & 0xff);
+        len >>= 8;
+    }
+    update(std::string_view(prefix, sizeof prefix));
+    return update(bytes);
+}
+
+Hash128 ContentHasher::digest() const noexcept {
+    // Cross-mix the lanes so each output word depends on both accumulators.
+    Hash128 h;
+    h.lo = splitmix64(a_ ^ splitmix64(b_));
+    h.hi = splitmix64(b_ ^ splitmix64(a_ + 0x632be59bd9b4e019ULL));
+    return h;
+}
+
+Hash128 contentHash(std::string_view bytes) noexcept {
+    return ContentHasher().update(bytes).digest();
+}
+
+} // namespace flh

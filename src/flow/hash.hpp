@@ -1,0 +1,47 @@
+// Content hashing for the flow engine's result cache.
+//
+// Cache keys are 128-bit digests rendered as 32 hex characters. The digest
+// is two independently-seeded 64-bit FNV-1a lanes mixed through a
+// splitmix64 finalizer — not cryptographic, but with 128 bits the collision
+// probability over any realistic number of cached artifacts is negligible,
+// and the implementation is dependency-free and byte-order stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace flh {
+
+struct Hash128 {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    [[nodiscard]] bool operator==(const Hash128&) const noexcept = default;
+
+    /// 32 lowercase hex characters (hi then lo).
+    [[nodiscard]] std::string hex() const;
+};
+
+/// Incremental hasher; feed byte ranges, then finalize.
+class ContentHasher {
+public:
+    ContentHasher() = default;
+
+    ContentHasher& update(std::string_view bytes) noexcept;
+
+    /// Feed a length-prefixed field: update(s) alone cannot distinguish
+    /// ("ab","c") from ("a","bc"); field() can.
+    ContentHasher& field(std::string_view bytes) noexcept;
+
+    [[nodiscard]] Hash128 digest() const noexcept;
+
+private:
+    std::uint64_t a_ = 0xcbf29ce484222325ULL; ///< FNV-1a offset basis
+    std::uint64_t b_ = 0x6c62272e07bb0142ULL; ///< distinct second-lane basis
+};
+
+/// One-shot convenience.
+[[nodiscard]] Hash128 contentHash(std::string_view bytes) noexcept;
+
+} // namespace flh

@@ -1,0 +1,47 @@
+// The paper's full evaluation flow as one FlowGraph.
+//
+// Stage DAG per design (Tables refer to the source paper):
+//
+//   netlist ── scan ──┬── dft_enh     (Tables I-III, enhanced-scan column)
+//                     ├── dft_mux     (Tables I-III, MUX-hold column)
+//                     ├── dft_flh     (Tables I-III, FLH column)
+//                     ├── fanout_opt  (Table IV / Section V)
+//                     └── atpg ────── fault_sim   (Section IV coverage)
+//
+// The three dft_* stages, fanout_opt and atpg are mutually independent, so
+// the engine overlaps them (and all designs) on its worker pool.
+#pragma once
+
+#include "flow/engine.hpp"
+#include "fault/fault_sim.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flh {
+
+struct PaperFlowConfig {
+    /// Transition-ATPG budget (TransitionAtpgConfig::random_pairs).
+    int random_pairs = 64;
+    std::uint64_t atpg_seed = 11;
+    /// Normal-mode power vectors (PowerConfig::n_vectors).
+    int power_vectors = 40;
+    std::uint64_t power_seed = 1234;
+};
+
+/// Build the paper flow graph (stages above) for a config.
+[[nodiscard]] FlowGraph buildPaperFlow(const PaperFlowConfig& cfg = {});
+
+/// Resolve a circuit argument into a DesignInput: a registered ISCAS name
+/// ("s27", "s298", ...) uses the statistics-matched registry netlist and its
+/// workload attributes; anything ending in ".bench" is read from disk.
+[[nodiscard]] DesignInput designInputFor(const std::string& name_or_path);
+
+// ---- test-set wire format (atpg -> fault_sim blob) ---------------------
+// One test per line: "<v1 pis>|<v1 state>|<v2 pis>|<v2 state>" over 0/1/X.
+
+[[nodiscard]] std::string serializeTests(const std::vector<TwoPattern>& tests);
+[[nodiscard]] std::vector<TwoPattern> parseTests(const std::string& text);
+
+} // namespace flh

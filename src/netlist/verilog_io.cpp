@@ -4,9 +4,26 @@
 #include <cctype>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace flh {
+
+namespace {
+
+bool isVerilogKeyword(const std::string& s) {
+    static const std::unordered_set<std::string> kw = {
+        "always",  "and",    "assign",   "begin",  "buf",       "case",    "casex",
+        "casez",   "default", "defparam", "else",   "end",       "endcase", "endfunction",
+        "endmodule", "for",  "function", "if",     "initial",   "inout",   "input",
+        "integer", "logic",  "module",   "nand",   "negedge",   "nor",     "not",
+        "or",      "output", "parameter", "posedge", "real",     "reg",     "repeat",
+        "signed",  "supply0", "supply1", "time",   "tri",       "unsigned", "while",
+        "wire",    "xnor",   "xor"};
+    return kw.contains(s);
+}
+
+} // namespace
 
 std::string verilogName(const std::string& name) {
     std::string out;
@@ -16,6 +33,9 @@ std::string verilogName(const std::string& name) {
         out += (std::isalnum(uc) || c == '_') ? c : '_';
     }
     if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, "n_");
+    // A sanitized name that lands exactly on a Verilog keyword would make
+    // the emitted module unparsable ("wire wire;"); escape it.
+    if (isVerilogKeyword(out)) out += '_';
     return out;
 }
 
@@ -84,7 +104,32 @@ endmodule
 void writeVerilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opt) {
     const std::unordered_set<GateId> gated(opt.flh_gated_gates.begin(),
                                            opt.flh_gated_gates.end());
-    const auto vn = [&](NetId n) { return verilogName(nl.net(n).name); };
+
+    // Distinct nets must stay distinct after sanitization: "a[0]" and
+    // "a_0_" both sanitize to "a_0_", a PI named "clk" would collide with
+    // the generated clock port, and a net named "u3" with an instance name.
+    // Reserve the fixed identifiers, then uniquify nets in NetId order.
+    std::unordered_set<std::string> used = {"clk"};
+    for (GateId g = 0; g < nl.gateCount(); ++g) {
+        used.insert("u" + std::to_string(g));
+        used.insert("u" + std::to_string(g) + "_hold");
+    }
+    std::vector<std::string> net_names(nl.netCount());
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        const std::string base = verilogName(nl.net(n).name);
+        std::string cand = base;
+        for (int k = 2; !used.insert(cand).second; ++k) cand = base + "_" + std::to_string(k);
+        net_names[n] = std::move(cand);
+    }
+    std::unordered_map<GateId, std::string> pregate;
+    for (const GateId g : opt.flh_gated_gates) {
+        const std::string base = net_names[nl.gate(g).output] + "__pregate";
+        std::string cand = base;
+        for (int k = 2; !used.insert(cand).second; ++k) cand = base + "_" + std::to_string(k);
+        pregate[g] = std::move(cand);
+    }
+
+    const auto vn = [&](NetId n) -> const std::string& { return net_names[n]; };
 
     os << "// Generated by flh (First Level Hold DFT library)\n";
     os << "module " << verilogName(nl.name()) << " (\n  clk";
@@ -101,15 +146,13 @@ void writeVerilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opt
     for (NetId n = 0; n < nl.netCount(); ++n)
         if (!ports.contains(n)) os << "  wire " << vn(n) << ";\n";
     // Gated gates drive a shadow net that feeds the hold wrapper.
-    for (const GateId g : opt.flh_gated_gates)
-        os << "  wire " << vn(nl.gate(g).output) << "__pregate;\n";
+    for (const GateId g : opt.flh_gated_gates) os << "  wire " << pregate.at(g) << ";\n";
     os << "\n";
 
     for (GateId g = 0; g < nl.gateCount(); ++g) {
         const Gate& gate = nl.gate(g);
         const bool is_gated = gated.contains(g);
-        const std::string out =
-            vn(gate.output) + (is_gated ? std::string("__pregate") : std::string());
+        const std::string out = is_gated ? pregate.at(g) : vn(gate.output);
         const std::string inst = "u" + std::to_string(g);
 
         if (gate.fn == CellFn::Dff) {
@@ -150,8 +193,7 @@ void writeVerilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opt
             // TC is the scan-insertion test-control PI.
             const auto tc = nl.findNet("TC");
             os << "  FLH_HOLD_WRAP u" << g << "_hold (.tc(" << (tc ? vn(*tc) : "1'b1")
-               << "), .y_gate(" << vn(gate.output) << "__pregate), .y(" << vn(gate.output)
-               << "));\n";
+               << "), .y_gate(" << pregate.at(g) << "), .y(" << vn(gate.output) << "));\n";
         }
     }
     os << "endmodule\n";

@@ -26,7 +26,12 @@ struct VerilogOptions {
 void writeVerilog(std::ostream& os, const Netlist& nl, const VerilogOptions& opt = {});
 [[nodiscard]] std::string writeVerilogString(const Netlist& nl, const VerilogOptions& opt = {});
 
-/// Sanitize a net name into a Verilog identifier.
+/// Sanitize a net name into a legal Verilog identifier (non-identifier
+/// characters become '_', a leading digit gains an "n_" prefix, and exact
+/// Verilog keywords are escaped with a trailing '_'). Distinct names can
+/// still sanitize to the same identifier ("a[0]" vs "a_0_"); writeVerilog
+/// uniquifies per module, so prefer reading names from its output when
+/// cross-referencing.
 [[nodiscard]] std::string verilogName(const std::string& name);
 
 } // namespace flh

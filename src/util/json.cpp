@@ -1,0 +1,122 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+
+namespace flh {
+
+std::string jsonEscape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string formatNumber(double v) {
+    if (v == 0.0) return "0"; // collapses -0.0 as well
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    assert(ec == std::errc());
+    return std::string(buf, end);
+}
+
+void JsonWriter::beforeValue() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!has_items_.empty()) {
+        if (has_items_.back()) out_ += ',';
+        newline();
+    }
+    if (!has_items_.empty()) has_items_.back() = true;
+}
+
+void JsonWriter::newline() {
+    out_ += '\n';
+    out_.append(2 * has_items_.size(), ' ');
+}
+
+void JsonWriter::beginObject() {
+    beforeValue();
+    out_ += '{';
+    has_items_.push_back(false);
+}
+
+void JsonWriter::endObject() {
+    const bool had = has_items_.back();
+    has_items_.pop_back();
+    if (had) newline();
+    out_ += '}';
+}
+
+void JsonWriter::beginArray() {
+    beforeValue();
+    out_ += '[';
+    has_items_.push_back(false);
+}
+
+void JsonWriter::endArray() {
+    const bool had = has_items_.back();
+    has_items_.pop_back();
+    if (had) newline();
+    out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+    if (has_items_.back()) out_ += ',';
+    newline();
+    has_items_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\": ";
+    pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+    beforeValue();
+    out_ += formatNumber(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+    beforeValue();
+    out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+    beforeValue();
+    out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+    beforeValue();
+    out_ += v ? "true" : "false";
+}
+
+} // namespace flh

@@ -1,0 +1,67 @@
+// Minimal deterministic JSON writer for machine-readable reports.
+//
+// Every run report and benchmark export in this repository must be
+// byte-identical for identical inputs (the flow engine's cache and CI
+// compare them with cmp), so this writer makes the formatting rules
+// explicit: two-space indentation, keys emitted in caller order, doubles
+// printed via formatNumber (shortest round-trip-exact form), no locale
+// dependence, trailing newline left to the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flh {
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// Deterministic textual form of a double: round-trip exact, no locale,
+/// "0" for zero, integral values without a trailing ".0".
+[[nodiscard]] std::string formatNumber(double v);
+
+/// Streaming JSON writer with explicit structure calls.
+///
+///   JsonWriter w;
+///   w.beginObject();
+///   w.key("total"); w.value(3);
+///   w.key("stages"); w.beginArray(); ... w.endArray();
+///   w.endObject();
+///   std::string doc = w.str();
+class JsonWriter {
+public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(std::string_view k);
+
+    void value(std::string_view s);
+    void value(const char* s) { value(std::string_view(s)); }
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+
+    /// Shorthand for key(k); value(v).
+    template <typename T> void kv(std::string_view k, const T& v) {
+        key(k);
+        value(v);
+    }
+
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+private:
+    void beforeValue();
+    void newline();
+
+    std::string out_;
+    std::vector<bool> has_items_; ///< per open scope: an item was emitted
+    bool pending_key_ = false;
+};
+
+} // namespace flh

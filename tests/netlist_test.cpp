@@ -246,6 +246,41 @@ y = NOR(OUTPUTX, b)
     EXPECT_THROW((void)readBenchString("INPUTS(a)\n", "t", lib()), std::runtime_error);
 }
 
+TEST(BenchIo, IdentifierEdgeCasesRoundTrip) {
+    // Names with operator/keyword prefixes, exact operator names, and
+    // bus-like "[0]" suffixes are all legal .bench identifiers and must
+    // survive write -> read unchanged.
+    const std::string text = R"(
+INPUT(in[0])
+INPUT(in[1])
+INPUT(NAND)
+OUTPUT(out[0])
+OUTPUT(NOT)
+NOTa = NOT(in[0])
+AND = AND(NOTa, NAND)
+out[0] = NAND(AND, in[1])
+NOT = BUFF(out[0])
+DFF1 = DFF(NOTa)
+OUTPUT2 = XOR(DFF1, AND)
+)";
+    const Netlist nl = readBenchString(text, "edge", lib());
+    EXPECT_EQ(nl.pis().size(), 3u);
+    EXPECT_EQ(nl.pos().size(), 2u);
+    EXPECT_EQ(nl.flipFlops().size(), 1u);
+    for (const char* name : {"in[0]", "in[1]", "NAND", "out[0]", "NOT", "NOTa", "AND",
+                             "DFF1", "OUTPUT2"})
+        EXPECT_TRUE(nl.findNet(name).has_value()) << name;
+
+    const std::string round = writeBenchString(nl);
+    const Netlist back = readBenchString(round, "edge", lib());
+    EXPECT_EQ(back.netCount(), nl.netCount());
+    EXPECT_EQ(back.gateCount(), nl.gateCount());
+    EXPECT_EQ(back.flipFlops().size(), nl.flipFlops().size());
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        EXPECT_TRUE(back.findNet(nl.net(n).name).has_value()) << nl.net(n).name;
+    EXPECT_EQ(writeBenchString(back), round); // canonical after one pass
+}
+
 TEST(BenchIo, ScannedNetlistRoundTripsThroughBench) {
     // Full DFF -> SDFF scan insertion must survive writeBench -> readBench:
     // same scan structure, flip-flops registered, canonical re-emit.

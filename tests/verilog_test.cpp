@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+
 namespace flh {
 namespace {
 
@@ -18,6 +21,87 @@ TEST(VerilogName, Sanitization) {
     EXPECT_EQ(verilogName("a.b[3]"), "a_b_3_");
     EXPECT_EQ(verilogName("3x"), "n_3x");
     EXPECT_EQ(verilogName(""), "n_");
+}
+
+TEST(VerilogName, KeywordsEscaped) {
+    EXPECT_EQ(verilogName("wire"), "wire_");
+    EXPECT_EQ(verilogName("input"), "input_");
+    EXPECT_EQ(verilogName("module"), "module_");
+    EXPECT_EQ(verilogName("assign"), "assign_");
+    // Keyword *prefixes* are legal identifiers and stay untouched.
+    EXPECT_EQ(verilogName("wire_x"), "wire_x");
+    EXPECT_EQ(verilogName("inputs"), "inputs");
+    // Bus-like suffixes sanitize predictably.
+    EXPECT_EQ(verilogName("a[0]"), "a_0_");
+}
+
+namespace {
+
+/// All identifiers declared in the emitted module body (input/output/wire).
+std::vector<std::string> declaredIdentifiers(const std::string& v) {
+    std::vector<std::string> ids;
+    std::istringstream is(v);
+    std::string line;
+    while (std::getline(is, line)) {
+        for (const char* decl : {"  input ", "  output ", "  wire "}) {
+            if (line.rfind(decl, 0) == 0 && line.back() == ';') {
+                ids.push_back(line.substr(std::string(decl).size(),
+                                          line.size() - std::string(decl).size() - 1));
+            }
+        }
+    }
+    return ids;
+}
+
+} // namespace
+
+TEST(Verilog, CollidingAndReservedNamesAreUniquified) {
+    // "a[0]" and "a_0_" sanitize to the same identifier; "clk" collides
+    // with the generated clock port; "u0" with gate 0's instance name;
+    // "wire" is a keyword.
+    Netlist nl("edge", lib());
+    const NetId a0 = nl.addPi("a[0]");
+    const NetId a0u = nl.addPi("a_0_");
+    const NetId ck = nl.addPi("clk");
+    const NetId u0 = nl.addPi("u0");
+    const NetId w = nl.addPi("wire");
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellFn::Aoi22, {a0, a0u, ck, u0}, y);
+    const NetId z = nl.addNet("z");
+    nl.addGate(CellFn::Nand, {y, w}, z);
+    nl.markPo(z);
+
+    const std::string v = writeVerilogString(nl);
+    const std::vector<std::string> ids = declaredIdentifiers(v);
+    std::set<std::string> uniq(ids.begin(), ids.end());
+    EXPECT_EQ(uniq.size(), ids.size()) << "duplicate identifier declared:\n" << v;
+    EXPECT_TRUE(uniq.contains("a_0_"));
+    EXPECT_TRUE(uniq.contains("a_0__2")); // uniquified collision
+    EXPECT_TRUE(uniq.contains("clk_2"));  // reserved clock port
+    EXPECT_TRUE(uniq.contains("u0_2"));   // reserved instance name
+    EXPECT_TRUE(uniq.contains("wire_"));  // escaped keyword
+    EXPECT_EQ(v.find(" wire wire;"), std::string::npos);
+}
+
+TEST(Verilog, PregateShadowNetsDoNotCollide) {
+    // A net literally named "<gated net>__pregate" must not collide with
+    // the generated shadow wire.
+    Netlist nl("shadow", lib());
+    const NetId d = nl.addPi("d");
+    const NetId evil = nl.addPi("g1__pregate");
+    const NetId q = nl.addNet("g1q");
+    nl.addDff(d, q);
+    const NetId g1 = nl.addNet("g1");
+    const GateId first = nl.addGate(CellFn::And, {q, evil}, g1);
+    nl.markPo(g1);
+
+    VerilogOptions opt;
+    opt.flh_gated_gates = {first};
+    const std::string v = writeVerilogString(nl, opt);
+    const std::vector<std::string> ids = declaredIdentifiers(v);
+    std::set<std::string> uniq(ids.begin(), ids.end());
+    EXPECT_EQ(uniq.size(), ids.size()) << v;
+    EXPECT_NE(v.find("FLH_HOLD_WRAP u" + std::to_string(first) + "_hold"), std::string::npos);
 }
 
 TEST(Verilog, EmitsModuleWithAllPorts) {
