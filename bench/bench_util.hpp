@@ -6,8 +6,12 @@
 #include "power/power.hpp"
 #include "dft/scan.hpp"
 #include "iscas/circuits.hpp"
+#include "util/json.hpp"
 
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace flh::bench {
@@ -41,6 +45,37 @@ inline std::vector<std::string> paperCircuitNames() {
     std::vector<std::string> names;
     for (const CircuitSpec& s : paperCircuits()) names.push_back(s.name);
     return names;
+}
+
+/// Per-circuit evaluations collected by a table bench, exported through the
+/// shared writeJson convention (util/json.hpp) so every BENCH_*.json file
+/// carries identical DftEvaluation objects.
+using DftEvalRows = std::vector<std::pair<std::string, std::vector<DftEvaluation>>>;
+
+inline void writeDftEvalExport(const std::string& path, const std::string& schema,
+                               const DftEvalRows& rows) {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", schema);
+    w.key("circuits");
+    w.beginArray();
+    for (const auto& [name, evals] : rows) {
+        w.beginObject();
+        w.kv("circuit", name);
+        w.key("evaluations");
+        w.beginArray();
+        for (const DftEvaluation& ev : evals) ev.writeJson(w);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::ofstream out(path, std::ios::trunc);
+    out << w.str() << "\n";
+    if (out)
+        std::cerr << "wrote " << path << " (" << rows.size() << " circuits)\n";
+    else
+        std::cerr << "failed to write " << path << "\n";
 }
 
 } // namespace flh::bench

@@ -10,6 +10,7 @@
 #include "analog/flh_chain.hpp"
 #include "fault/fault_sim.hpp"
 #include "fault/parallel_sim.hpp"
+#include "obs/telemetry.hpp"
 #include "power/power.hpp"
 #include "sta/timing.hpp"
 #include "util/json.hpp"
@@ -108,6 +109,33 @@ BENCHMARK(BM_TransitionFaultSimThreads)
     ->Args({2, 0})
     ->Unit(benchmark::kMillisecond);
 
+// Telemetry cost on the hottest kernel: range(0) toggles obs recording.
+// "/0" rows are the compiled-in-but-disabled baseline (the production
+// default — must stay within ~2% of pre-telemetry faults/sec), "/1" rows
+// measure the full recording path (spans + counters live).
+void BM_TransitionFaultSimTelemetry(benchmark::State& state) {
+    const Netlist& nl = scannedCircuit("s1423");
+    const auto v1s = randomPatterns(nl, 64, 7);
+    const auto v2s = randomPatterns(nl, 64, 8);
+    std::vector<TwoPattern> tests;
+    tests.reserve(v1s.size());
+    for (std::size_t i = 0; i < v1s.size(); ++i) tests.push_back(TwoPattern{v1s[i], v2s[i]});
+    const auto faults = allTransitionFaults(nl);
+    obs::setEnabled(state.range(0) != 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runTransitionFaultSim(nl, tests, faults).detected);
+    }
+    obs::setEnabled(false);
+    obs::reset();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_TransitionFaultSimTelemetry)
+    ->ArgNames({"obs"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NDetectProfileThreads(benchmark::State& state) {
     const Netlist& nl = circuitFor(state);
     const auto v1s = randomPatterns(nl, 128, 9);
@@ -199,13 +227,7 @@ public:
         w.kv("schema", "flh.bench.kernel_throughput/1");
         w.key("benchmarks");
         w.beginArray();
-        for (const Entry& e : entries_) {
-            w.beginObject();
-            w.kv("name", e.name);
-            w.kv("real_time_ns", e.real_time_ns);
-            if (e.items_per_second > 0) w.kv("items_per_second", e.items_per_second);
-            w.endObject();
-        }
+        for (const Entry& e : entries_) e.writeJson(w);
         w.endArray();
         w.endObject();
         std::ofstream out("BENCH_kernel_throughput.json", std::ios::trunc);
@@ -218,11 +240,21 @@ public:
     }
 
 private:
+    /// Follows the shared writeJson(JsonWriter&) convention (util/json.hpp).
     struct Entry {
         std::string name;
         double real_time_ns = 0.0;
         double items_per_second = 0.0;
+
+        void writeJson(JsonWriter& w) const {
+            w.beginObject();
+            w.kv("name", name);
+            w.kv("real_time_ns", real_time_ns);
+            if (items_per_second > 0) w.kv("items_per_second", items_per_second);
+            w.endObject();
+        }
     };
+    static_assert(JsonWritable<Entry>);
     std::vector<Entry> entries_;
 };
 

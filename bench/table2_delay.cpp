@@ -22,18 +22,20 @@ int main() {
     double sum_impr_mux = 0.0;
     double max_total_gain = 0.0;
     int n = 0;
+    DftEvalRows rows;
 
     for (const std::string& name : paperCircuitNames()) {
         const Netlist nl = scannedCircuit(name);
         const TimingResult base = runSta(nl);
-        const auto pct = [&](HoldStyle s) {
-            const TimingResult r = runSta(nl, makeTimingOverlay(nl, planDft(nl, s)));
-            return 100.0 * (r.critical_delay_ps - base.critical_delay_ps) /
-                   base.critical_delay_ps;
-        };
-        const double enh = pct(HoldStyle::EnhancedScan);
-        const double mux = pct(HoldStyle::MuxHold);
-        const double flh = pct(HoldStyle::Flh);
+        // Full evaluations through the shared harness: the delay columns
+        // come from DftEvaluation, which also feeds the JSON export.
+        const DftEvaluation enh_ev = evaluateDft(nl, planDft(nl, HoldStyle::EnhancedScan));
+        const DftEvaluation mux_ev = evaluateDft(nl, planDft(nl, HoldStyle::MuxHold));
+        const DftEvaluation flh_ev = evaluateDft(nl, planDft(nl, HoldStyle::Flh));
+        rows.emplace_back(name, std::vector<DftEvaluation>{enh_ev, mux_ev, flh_ev});
+        const double enh = enh_ev.delay_increase_pct;
+        const double mux = mux_ev.delay_increase_pct;
+        const double flh = flh_ev.delay_increase_pct;
 
         const double impr_mux = overheadImprovementPct(mux, flh);
         const double impr_enh = overheadImprovementPct(enh, flh);
@@ -52,6 +54,7 @@ int main() {
     table.addRow({"average", "", "", "", "", "", fmt(sum_impr_mux / n, 1),
                   fmt(sum_impr_enh / n, 1)});
 
+    writeDftEvalExport("BENCH_table2_delay.json", "flh.bench.table2_delay/1", rows);
     std::cout << "TABLE II: COMPARISON OF DELAY OVERHEAD\n" << table.render();
     std::cout << "\nMax total-circuit-delay reduction of FLH vs enhanced scan: "
               << fmt(max_total_gain, 1) << "%\n";

@@ -23,18 +23,21 @@ int main() {
     double sum_total_gain = 0.0;
     bool any_below_original = false;
     int n = 0;
+    DftEvalRows rows;
 
     for (const std::string& name : paperCircuitNames()) {
         const Netlist nl = scannedCircuit(name);
         const PowerConfig cfg = powerConfigFor(name);
         const PowerResult base = measureNormalPower(nl, {}, cfg);
-        const auto pct = [&](HoldStyle s) {
-            const PowerResult r = measureNormalPower(nl, makePowerOverlay(nl, planDft(nl, s)), cfg);
-            return 100.0 * (r.totalUw() - base.totalUw()) / base.totalUw();
-        };
-        const double enh = pct(HoldStyle::EnhancedScan);
-        const double mux = pct(HoldStyle::MuxHold);
-        const double flh = pct(HoldStyle::Flh);
+        // Full evaluations through the shared harness: the power columns
+        // come from DftEvaluation, which also feeds the JSON export.
+        const DftEvaluation enh_ev = evaluateDft(nl, planDft(nl, HoldStyle::EnhancedScan), cfg);
+        const DftEvaluation mux_ev = evaluateDft(nl, planDft(nl, HoldStyle::MuxHold), cfg);
+        const DftEvaluation flh_ev = evaluateDft(nl, planDft(nl, HoldStyle::Flh), cfg);
+        rows.emplace_back(name, std::vector<DftEvaluation>{enh_ev, mux_ev, flh_ev});
+        const double enh = enh_ev.power_increase_pct;
+        const double mux = mux_ev.power_increase_pct;
+        const double flh = flh_ev.power_increase_pct;
         if (flh < 0.0) any_below_original = true;
 
         const double impr_mux = overheadImprovementPct(mux, flh);
@@ -52,6 +55,7 @@ int main() {
     table.addRow({"average", "", "", "", "", fmt(sum_impr_mux / n, 1),
                   fmt(sum_impr_enh / n, 1)});
 
+    writeDftEvalExport("BENCH_table3_power.json", "flh.bench.table3_power/1", rows);
     std::cout << "TABLE III: COMPARISON OF POWER OVERHEAD DURING NORMAL MODE\n" << table.render();
     std::cout << "\nAverage overall-circuit-power reduction of FLH vs enhanced scan: "
               << fmt(sum_total_gain / n, 1) << "%\n";

@@ -13,7 +13,13 @@
 //                      thread counts, cache states, and repeated runs)
 //   flow_profile.json  wall time / cache hit-miss / faults-per-second
 //   stdout             per-stage console table + summary
+//   --trace FILE       Chrome trace_event JSON (chrome://tracing /
+//                      Perfetto): one lane per worker thread, spans for
+//                      every stage, cache probe, and fault-sim partition
+//   --metrics FILE     flat telemetry counters/gauges
+//   --bench-json FILE  BENCH_flow.json bench-trajectory export
 #include "flow/paper_flow.hpp"
+#include "obs/telemetry.hpp"
 #include "util/strings.hpp"
 
 #include <charconv>
@@ -29,12 +35,17 @@ namespace {
 constexpr const char* kUsage = R"(usage: flh_flow [options]
   --circuits LIST      comma-separated registry names or .bench paths
                        (default: s27,s298)
-  --threads N          scheduler workers; 0 = one per hardware thread (default 1)
-  --sim-threads N      fault-sim threads per stage (default 1)
+  --threads N          worker threads, scheduler AND fault-sim; 0 = one per
+                       hardware thread (default 1)
+  --sim-threads N      override the fault-sim budget separately from the
+                       scheduler width
   --cache-dir DIR      result cache directory (default .flowcache)
   --no-cache           recompute everything, touch no cache
   --report FILE        deterministic run report (default flow_report.json)
   --profile FILE       timing/cache profile (default flow_profile.json)
+  --trace FILE         write a Chrome trace_event JSON (enables telemetry)
+  --metrics FILE       write flat telemetry metrics (enables telemetry)
+  --bench-json FILE    write the bench-trajectory export (BENCH_flow.json)
   --pairs N            ATPG random pairs (default 64)
   --seed N             ATPG seed (default 11)
   --require-hit-rate F exit 1 unless cache hit rate >= F (CI guard)
@@ -72,8 +83,12 @@ int main(int argc, char** argv) {
     PaperFlowConfig cfg;
     std::string report_path = "flow_report.json";
     std::string profile_path = "flow_profile.json";
+    std::string trace_path;
+    std::string metrics_path;
+    std::string bench_path;
     double require_hit_rate = -1.0;
     bool quiet = false;
+    bool sim_threads_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -83,11 +98,17 @@ int main(int argc, char** argv) {
         };
         if (arg == "--circuits") circuits = splitTrim(next(), ',');
         else if (arg == "--threads") opts.threads = parseNum<unsigned>(arg, next());
-        else if (arg == "--sim-threads") opts.sim_threads = parseNum<unsigned>(arg, next());
+        else if (arg == "--sim-threads") {
+            opts.sim_threads = parseNum<unsigned>(arg, next());
+            sim_threads_set = true;
+        }
         else if (arg == "--cache-dir") opts.cache_dir = next();
         else if (arg == "--no-cache") opts.use_cache = false;
         else if (arg == "--report") report_path = next();
         else if (arg == "--profile") profile_path = next();
+        else if (arg == "--trace") trace_path = next();
+        else if (arg == "--metrics") metrics_path = next();
+        else if (arg == "--bench-json") bench_path = next();
         else if (arg == "--pairs") cfg.random_pairs = parseNum<int>(arg, next());
         else if (arg == "--seed") cfg.atpg_seed = parseNum<std::uint64_t>(arg, next());
         else if (arg == "--require-hit-rate") {
@@ -101,6 +122,17 @@ int main(int argc, char** argv) {
         } else usageError("unknown option '" + arg + "'");
     }
     if (circuits.empty()) usageError("empty --circuits list");
+
+    // One --threads flag drives both pools (ExecPolicy everywhere);
+    // --sim-threads remains as an explicit override.
+    if (!sim_threads_set) opts.sim_threads = opts.threads;
+
+    // Telemetry stays compiled in but disabled unless an export was asked
+    // for — the deterministic report is identical either way.
+    if (!trace_path.empty() || !metrics_path.empty()) {
+        obs::setEnabled(true);
+        obs::setThreadLabel("main");
+    }
 
     std::vector<DesignInput> designs;
     designs.reserve(circuits.size());
@@ -118,6 +150,9 @@ int main(int argc, char** argv) {
 
     writeFile(report_path, report.reportJson());
     writeFile(profile_path, report.profileJson());
+    if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
+    if (!metrics_path.empty()) writeFile(metrics_path, obs::metricsJson());
+    if (!bench_path.empty()) writeFile(bench_path, report.benchJson());
 
     if (!quiet) {
         std::cout << report.table().render();
@@ -128,6 +163,11 @@ int main(int argc, char** argv) {
         std::cout << "total stage wall time " << fmt(report.totalWallMs(), 1)
                   << " ms, peak test count " << report.peakTests() << "\n";
         std::cout << "report: " << report_path << "  profile: " << profile_path << "\n";
+        if (!trace_path.empty())
+            std::cout << "trace: " << trace_path << " (" << obs::spanCount() << " spans, "
+                      << obs::laneCount() << " lanes)\n";
+        if (!metrics_path.empty()) std::cout << "metrics: " << metrics_path << "\n";
+        if (!bench_path.empty()) std::cout << "bench: " << bench_path << "\n";
     }
 
     if (report.failures() > 0) {

@@ -1,5 +1,7 @@
 #include "atpg/stuck_atpg.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace flh {
 
 void fillRandom(Pattern& p, Rng& rng) {
@@ -11,14 +13,20 @@ void fillRandom(Pattern& p, Rng& rng) {
 
 StuckAtpgResult generateStuckAtTests(const Netlist& nl, std::span<const FaultSite> faults,
                                      const StuckAtpgConfig& cfg) {
+    obs::ScopedSpan span("atpg:stuck_at", "atpg");
     StuckAtpgResult res;
     Rng rng(cfg.seed);
 
     // Phase 1: random patterns with fault dropping.
-    res.patterns = randomPatterns(nl, static_cast<std::size_t>(cfg.random_patterns), rng.next());
-    res.coverage = runStuckAtFaultSim(nl, res.patterns, faults);
+    {
+        obs::ScopedSpan phase_span("atpg:stuck_at:random", "atpg");
+        res.patterns =
+            randomPatterns(nl, static_cast<std::size_t>(cfg.random_patterns), rng.next());
+        res.coverage = runStuckAtFaultSim(nl, res.patterns, faults);
+    }
 
     // Phase 2: deterministic top-off for survivors.
+    obs::ScopedSpan topoff_span("atpg:stuck_at:topoff", "atpg");
     Podem podem(nl, cfg.podem);
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
         if (res.coverage.detected_mask[fi]) continue;
@@ -47,6 +55,12 @@ StuckAtpgResult generateStuckAtTests(const Netlist& nl, std::span<const FaultSit
                 break;
         }
     }
+    static obs::Counter& c_generated = obs::counter("atpg.generated");
+    static obs::Counter& c_aborted = obs::counter("atpg.aborted");
+    static obs::Counter& c_untestable = obs::counter("atpg.untestable");
+    c_generated.add(res.podem_generated);
+    c_aborted.add(res.aborted);
+    c_untestable.add(res.untestable);
     return res;
 }
 

@@ -1,5 +1,7 @@
 #include "atpg/transition_atpg.hpp"
 
+#include "obs/telemetry.hpp"
+
 #include <algorithm>
 
 namespace flh {
@@ -43,15 +45,23 @@ TwoPattern randomPair(const Netlist& nl, TestApplication style, Rng& rng) {
 TransitionAtpgResult generateTransitionTests(const Netlist& nl, TestApplication style,
                                              std::span<const TransitionFault> faults,
                                              const TransitionAtpgConfig& cfg) {
+    obs::ScopedSpan span(obs::enabled() ? std::string("atpg:transition:") + toString(style)
+                                        : std::string(),
+                         "atpg");
     TransitionAtpgResult res;
     res.style = style;
     Rng rng(cfg.seed);
 
     // Phase 1: random pairs with fault dropping.
-    for (int i = 0; i < cfg.random_pairs; ++i) res.tests.push_back(randomPair(nl, style, rng));
-    res.coverage = runTransitionFaultSim(nl, res.tests, faults);
+    {
+        obs::ScopedSpan phase_span("atpg:transition:random", "atpg");
+        for (int i = 0; i < cfg.random_pairs; ++i)
+            res.tests.push_back(randomPair(nl, style, rng));
+        res.coverage = runTransitionFaultSim(nl, res.tests, faults);
+    }
 
     // Phase 2: deterministic top-off.
+    obs::ScopedSpan topoff_span("atpg:transition:topoff", "atpg");
     Podem podem(nl, cfg.podem);
     const auto& ffs = nl.flipFlops();
 
@@ -157,6 +167,12 @@ TransitionAtpgResult generateTransitionTests(const Netlist& nl, TestApplication 
         }
         (void)added;
     }
+    static obs::Counter& c_generated = obs::counter("atpg.generated");
+    static obs::Counter& c_aborted = obs::counter("atpg.aborted");
+    static obs::Counter& c_untestable = obs::counter("atpg.untestable");
+    c_generated.add(res.generated);
+    c_aborted.add(res.aborted);
+    c_untestable.add(res.untestable);
     return res;
 }
 

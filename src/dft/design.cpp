@@ -1,8 +1,25 @@
 #include "dft/design.hpp"
 
+#include "util/json.hpp"
+
 #include <stdexcept>
 
 namespace flh {
+
+void DftEvaluation::writeJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("style", toString(style));
+    w.kv("base_area_um2", base_area_um2);
+    w.kv("dft_area_um2", dft_area_um2);
+    w.kv("area_increase_pct", area_increase_pct);
+    w.kv("base_delay_ps", base_delay_ps);
+    w.kv("delay_ps", delay_ps);
+    w.kv("delay_increase_pct", delay_increase_pct);
+    w.kv("base_power_uw", base_power_uw);
+    w.kv("power_uw", power_uw);
+    w.kv("power_increase_pct", power_increase_pct);
+    w.endObject();
+}
 
 DftDesign planDft(const Netlist& nl, HoldStyle style, const DftSizing& sizing) {
     DftDesign d;

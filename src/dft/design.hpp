@@ -18,6 +18,8 @@
 
 namespace flh {
 
+class JsonWriter;
+
 /// Sizing knobs for all three schemes (defaults reproduce the paper setup).
 struct DftSizing {
     HoldLatchSpec latch{};
@@ -69,6 +71,10 @@ struct DftEvaluation {
     double base_power_uw = 0.0;
     double power_uw = 0.0;
     double power_increase_pct = 0.0;
+
+    /// Shared writeJson(JsonWriter&) convention (util/json.hpp): one
+    /// object with the style name and every absolute/relative figure.
+    void writeJson(JsonWriter& w) const;
 };
 
 /// Full area/delay/power evaluation of one style on a scanned netlist.

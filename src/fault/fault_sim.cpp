@@ -1,11 +1,20 @@
 #include "fault/fault_sim.hpp"
 
 #include "fault/parallel_sim.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 #include <stdexcept>
 
 namespace flh {
+
+void FaultSimResult::writeJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("total_faults", static_cast<std::int64_t>(total));
+    w.kv("detected", static_cast<std::int64_t>(detected));
+    w.kv("coverage_pct", coveragePct());
+    w.endObject();
+}
 
 const char* toString(TestApplication a) noexcept {
     switch (a) {

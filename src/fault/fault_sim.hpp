@@ -20,6 +20,8 @@
 
 namespace flh {
 
+class JsonWriter;
+
 /// One full-scan test pattern: primary-input values + scan state.
 struct Pattern {
     std::vector<Logic> pis;
@@ -45,6 +47,11 @@ struct FaultSimResult {
     [[nodiscard]] double coveragePct() const noexcept {
         return total ? 100.0 * static_cast<double>(detected) / static_cast<double>(total) : 0.0;
     }
+
+    /// Shared writeJson(JsonWriter&) convention (util/json.hpp): one
+    /// object with totals and coverage; the per-fault mask is summarized,
+    /// not dumped.
+    void writeJson(JsonWriter& w) const;
 };
 
 /// Random patterns with fully specified bits.

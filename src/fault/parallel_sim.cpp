@@ -1,9 +1,12 @@
 #include "fault/parallel_sim.hpp"
 
+#include "obs/telemetry.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace flh {
@@ -76,12 +79,57 @@ private:
     std::vector<std::atomic<std::uint64_t>> words_;
 };
 
-/// Run `work(lo, hi)` over [0, n) split into `t` contiguous ranges.
+/// Telemetry hooks shared by the three grading engines. Counter lookups
+/// happen once per process (static refs); workers accumulate locally and
+/// flush once per partition so the enabled path adds no per-fault atomics.
+struct SimTelemetry {
+    obs::Counter& graded = obs::counter("fault_sim.faults_graded");
+    obs::Counter& detected = obs::counter("fault_sim.faults_detected");
+    obs::Counter& dropped = obs::counter("fault_sim.faults_dropped");
+    obs::Counter& batches = obs::counter("fault_sim.batches");
+    obs::Counter& partitions = obs::counter("fault_sim.partitions");
+
+    static const SimTelemetry& get() {
+        static const SimTelemetry t;
+        return t;
+    }
+};
+
+/// Worker-local accumulators, flushed to the shared counters when the
+/// worker's partition finishes.
+struct WorkerTally {
+    std::uint64_t graded = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t batches = 0;
+
+    void flush() const {
+        const SimTelemetry& t = SimTelemetry::get();
+        t.graded.add(graded);
+        t.detected.add(detected);
+        t.dropped.add(dropped);
+        t.batches.add(batches);
+        t.partitions.add(1);
+    }
+};
+
+/// Span label for one worker's contiguous fault range.
+std::string partitionLabel(const char* engine, std::size_t lo, std::size_t hi) {
+    return std::string(engine) + ":partition[" + std::to_string(lo) + "," +
+           std::to_string(hi) + ")";
+}
+
+/// Run `work(lo, hi, tally)` over [0, n) split into `t` contiguous ranges.
 /// t == 1 runs inline on the caller. Worker exceptions are rethrown here.
+/// `engine` names the grading engine in spans and worker lane labels.
 template <typename Fn>
-void runPartitioned(std::size_t n, unsigned t, const Fn& work) {
+void runPartitioned(const char* engine, std::size_t n, unsigned t, const Fn& work) {
     if (t <= 1 || n == 0) {
-        work(std::size_t{0}, n);
+        obs::ScopedSpan span(obs::enabled() ? partitionLabel(engine, 0, n) : std::string(),
+                             "fault_sim");
+        WorkerTally tally;
+        work(std::size_t{0}, n, tally);
+        tally.flush();
         return;
     }
     std::vector<std::thread> pool;
@@ -90,9 +138,16 @@ void runPartitioned(std::size_t n, unsigned t, const Fn& work) {
     for (unsigned w = 0; w < t; ++w) {
         const std::size_t lo = n * w / t;
         const std::size_t hi = n * (w + 1) / t;
-        pool.emplace_back([&work, &errors, lo, hi, w] {
+        pool.emplace_back([&work, &errors, lo, hi, w, engine] {
             try {
-                work(lo, hi);
+                if (obs::enabled())
+                    obs::setThreadLabel("sim-worker-" + std::to_string(w));
+                obs::ScopedSpan span(
+                    obs::enabled() ? partitionLabel(engine, lo, hi) : std::string(),
+                    "fault_sim");
+                WorkerTally tally;
+                work(lo, hi, tally);
+                tally.flush();
             } catch (...) {
                 errors[w] = std::current_exception();
             }
@@ -113,13 +168,6 @@ void warmCaches(const Netlist& nl) {
 
 } // namespace
 
-unsigned FaultSimOptions::resolveThreads(std::size_t n_faults) const noexcept {
-    std::size_t t = threads ? threads : std::max(1u, std::thread::hardware_concurrency());
-    if (min_faults_per_worker)
-        t = std::min<std::size_t>(t, std::max<std::size_t>(1, n_faults / min_faults_per_worker));
-    return static_cast<unsigned>(std::max<std::size_t>(1, t));
-}
-
 FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pats,
                                   std::span<const FaultSite> faults,
                                   const FaultSimOptions& opts) {
@@ -130,25 +178,37 @@ FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pa
 
     warmCaches(nl);
     DetectedBitmap det(faults.size());
-    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
-                   [&](std::size_t lo, std::size_t hi) {
+    runPartitioned("stuck_at", faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        PatternSim sim(nl);
                        std::vector<PV> good;
                        std::vector<PV> faulty;
                        for (std::size_t base = 0; base < pats.size(); base += 64) {
+                           obs::ScopedSpan batch_span(
+                               obs::enabled() ? "batch@" + std::to_string(base)
+                                              : std::string(),
+                               "fault_sim.batch");
+                           ++tally.batches;
                            const std::size_t count = std::min<std::size_t>(64, pats.size() - base);
                            const std::uint64_t valid = validMask(count);
                            loadPatterns(sim, pats, base, count);
                            observeInto(sim, good);
                            for (std::size_t fi = lo; fi < hi; ++fi) {
-                               if (det.test(fi)) continue;
+                               if (det.test(fi)) {
+                                   ++tally.dropped;
+                                   continue;
+                               }
                                sim.injectFault(faults[fi]);
                                sim.propagate();
                                observeInto(sim, faulty);
                                const std::uint64_t hit = diffMask(good, faulty) & valid;
                                sim.clearFault();
-                               if (hit) det.set(fi);
+                               ++tally.graded;
+                               if (hit) {
+                                   det.set(fi);
+                                   ++tally.detected;
+                               }
                            }
                        }
                    });
@@ -226,19 +286,31 @@ FaultSimResult runTransitionFaultSim(const Netlist& nl, std::span<const TwoPatte
     splitPairs(tests, v1s, v2s);
 
     DetectedBitmap det(faults.size());
-    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
-                   [&](std::size_t lo, std::size_t hi) {
+    runPartitioned("transition", faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        TransitionWorkerState ws(nl);
                        for (std::size_t base = 0; base < tests.size(); base += 64) {
+                           obs::ScopedSpan batch_span(
+                               obs::enabled() ? "batch@" + std::to_string(base)
+                                              : std::string(),
+                               "fault_sim.batch");
+                           ++tally.batches;
                            const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
                            const std::uint64_t valid = validMask(count);
                            ws.loadBatch(v1s, v2s, base, count);
                            for (std::size_t fi = lo; fi < hi; ++fi) {
-                               if (det.test(fi)) continue;
+                               if (det.test(fi)) {
+                                   ++tally.dropped;
+                                   continue;
+                               }
                                const std::uint64_t init_ok = ws.launchMask(faults[fi]);
                                if ((init_ok & valid) == 0) continue;
-                               if (ws.detectMask(faults[fi], init_ok, valid)) det.set(fi);
+                               ++tally.graded;
+                               if (ws.detectMask(faults[fi], init_ok, valid)) {
+                                   det.set(fi);
+                                   ++tally.detected;
+                               }
                            }
                        }
                    });
@@ -265,17 +337,23 @@ std::vector<std::size_t> countTransitionDetections(const Netlist& nl,
 
     // No fault dropping (the profile needs every test), and each worker
     // writes a disjoint slice of `counts`, so no synchronization is needed.
-    runPartitioned(faults.size(), opts.resolveThreads(faults.size()),
-                   [&](std::size_t lo, std::size_t hi) {
+    runPartitioned("ndetect", faults.size(), opts.resolveThreads(faults.size()),
+                   [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        TransitionWorkerState ws(nl);
                        for (std::size_t base = 0; base < tests.size(); base += 64) {
+                           obs::ScopedSpan batch_span(
+                               obs::enabled() ? "batch@" + std::to_string(base)
+                                              : std::string(),
+                               "fault_sim.batch");
+                           ++tally.batches;
                            const std::size_t count = std::min<std::size_t>(64, tests.size() - base);
                            const std::uint64_t valid = validMask(count);
                            ws.loadBatch(v1s, v2s, base, count);
                            for (std::size_t fi = lo; fi < hi; ++fi) {
                                const std::uint64_t init_ok = ws.launchMask(faults[fi]);
                                if ((init_ok & valid) == 0) continue;
+                               ++tally.graded;
                                counts[fi] += static_cast<std::size_t>(
                                    std::popcount(ws.detectMask(faults[fi], init_ok, valid)));
                            }

@@ -18,22 +18,48 @@
 #pragma once
 
 #include "fault/fault_sim.hpp"
+#include "util/exec_policy.hpp"
 
 namespace flh {
 
 /// Tuning knobs for the fault-simulation engine.
+///
+/// The two threading fields are kept as thin, deprecated aliases of the
+/// unified flh::ExecPolicy vocabulary (util/exec_policy.hpp): `threads`
+/// maps to ExecPolicy::threads and `min_faults_per_worker` to
+/// ExecPolicy::min_items_per_worker. New code should build an ExecPolicy
+/// and assign through exec(); resolution always goes through the single
+/// ExecPolicy::resolveThreads implementation.
 struct FaultSimOptions {
     /// Worker threads. 1 = run inline on the calling thread (no spawn);
-    /// 0 = one worker per hardware thread.
+    /// 0 = one worker per hardware thread. Deprecated alias of
+    /// ExecPolicy::threads.
     unsigned threads = 1;
 
     /// Pool shrink floor: never spawn more workers than
     /// n_faults / min_faults_per_worker — below that the per-worker
     /// good-machine loads and thread startup dominate the grading work.
+    /// 0 disables the floor. Deprecated alias of
+    /// ExecPolicy::min_items_per_worker.
     std::size_t min_faults_per_worker = 64;
 
-    /// Effective worker count for an `n_faults`-sized fault list.
-    [[nodiscard]] unsigned resolveThreads(std::size_t n_faults) const noexcept;
+    /// The unified policy view of the knobs above.
+    [[nodiscard]] ExecPolicy exec() const noexcept {
+        return ExecPolicy{threads, min_faults_per_worker};
+    }
+
+    /// Replace both knobs from a policy.
+    void setExec(const ExecPolicy& p) noexcept {
+        threads = p.threads;
+        min_faults_per_worker = p.min_items_per_worker;
+    }
+
+    /// Effective worker count for an `n_faults`-sized fault list. Always
+    /// >= 1, even for threads = 0 on hardware that reports no concurrency
+    /// or for min_faults_per_worker = 0.
+    [[nodiscard]] unsigned resolveThreads(std::size_t n_faults) const noexcept {
+        return exec().resolveThreads(n_faults);
+    }
 };
 
 /// Stuck-at grading with fault dropping, partitioned across workers.

@@ -1,5 +1,6 @@
 #include "flow/engine.hpp"
 
+#include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 #include <algorithm>
@@ -35,6 +36,21 @@ struct TaskTable {
     }
 };
 
+/// Shared counters/gauges (stable addresses, one registry lookup per
+/// process).
+struct FlowTelemetry {
+    obs::Counter& tasks = obs::counter("flow.tasks");
+    obs::Counter& hits = obs::counter("flow.cache_hits");
+    obs::Counter& misses = obs::counter("flow.cache_misses");
+    obs::Counter& failures = obs::counter("flow.stage_failures");
+    obs::Gauge& queue_depth = obs::gauge("flow.ready_queue_depth");
+
+    static const FlowTelemetry& get() {
+        static const FlowTelemetry t;
+        return t;
+    }
+};
+
 void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultCache* cache,
              const FlowOptions& opts) {
     const StageDef& def = tt.graph.stages()[stage];
@@ -43,12 +59,18 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultC
     rec.design = input.name;
     rec.stage = def.name;
 
+    const FlowTelemetry& tel = FlowTelemetry::get();
+    tel.tasks.add(1);
+    obs::ScopedSpan task_span(
+        obs::enabled() ? input.name + "/" + def.name : std::string(), "flow.stage");
+
     // Upstream failure poisons the cone without running anything.
     for (const std::size_t d : tt.dep_idx[stage]) {
         const StageRecord& dep = tt.records[tt.taskId(design, d)];
         if (dep.failed) {
             rec.failed = true;
             rec.error = "skipped: upstream stage '" + dep.stage + "' failed";
+            tel.failures.add(1);
             return;
         }
     }
@@ -64,12 +86,19 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultC
     const auto start = Clock::now();
     try {
         if (cache) {
+            obs::ScopedSpan probe_span(
+                obs::enabled() ? "cache-probe:" + input.name + "/" + def.name
+                               : std::string(),
+                "flow.cache");
             if (auto hit = cache->load(rec.key)) {
                 rec.artifact = std::move(*hit);
                 rec.cache_hit = true;
             }
         }
         if (!rec.cache_hit) {
+            obs::ScopedSpan run_span(
+                obs::enabled() ? "run:" + input.name + "/" + def.name : std::string(),
+                "flow.run");
             StageContext ctx(input.name, input.source, input.attrs, opts.sim_threads);
             for (const std::size_t d : tt.dep_idx[stage])
                 ctx.addInput(tt.graph.stages()[d].name,
@@ -82,9 +111,11 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultC
         // replay would otherwise report absurd faults/sec.
         if (!rec.cache_hit && rec.artifact.hasMeta("work_items"))
             rec.work_items = rec.artifact.num("work_items");
+        (rec.cache_hit ? tel.hits : tel.misses).add(1);
     } catch (const std::exception& e) {
         rec.failed = true;
         rec.error = e.what();
+        tel.failures.add(1);
     }
     rec.wall_ms = msSince(start);
 }
@@ -125,14 +156,16 @@ RunReport runFlow(const FlowGraph& graph, std::span<const DesignInput> designs,
         }
     }
 
-    unsigned n_workers = opts.threads == 0
-                             ? std::max(1u, std::thread::hardware_concurrency())
-                             : opts.threads;
-    n_workers = static_cast<unsigned>(
-        std::min<std::size_t>(n_workers, std::max<std::size_t>(1, n_tasks)));
+    // Scheduler width through the unified policy: min_items_per_worker = 1
+    // clamps the pool to the task count, threads = 0 resolves to hardware.
+    const unsigned n_workers = opts.schedExec().resolveThreads(n_tasks);
+    const FlowTelemetry& tel = FlowTelemetry::get();
+    tel.queue_depth.set(static_cast<std::int64_t>(ready.size()));
 
     if (n_workers <= 1) {
         // Inline path: no pool, plain FIFO over the ready queue.
+        obs::ScopedSpan sched_span(
+            obs::enabled() ? "schedule:inline" : std::string(), "flow.sched");
         while (!ready.empty()) {
             const std::size_t t = ready.front();
             ready.pop_front();
@@ -141,22 +174,34 @@ RunReport runFlow(const FlowGraph& graph, std::span<const DesignInput> designs,
             runTask(tt, dsn, s, cache_ptr, opts);
             for (const std::size_t dep_s : tt.dependents[s])
                 if (--tt.pending[tt.taskId(dsn, dep_s)] == 0) ready.push_back(tt.taskId(dsn, dep_s));
+            tel.queue_depth.set(static_cast<std::int64_t>(ready.size()));
         }
     } else {
         std::mutex mu;
         std::condition_variable cv;
         std::size_t done = 0;
 
-        const auto worker = [&] {
+        const auto worker = [&](unsigned worker_id) {
+            if (obs::enabled())
+                obs::setThreadLabel("flow-worker-" + std::to_string(worker_id));
+            obs::ScopedSpan sched_span(
+                obs::enabled() ? "schedule:worker-" + std::to_string(worker_id)
+                               : std::string(),
+                "flow.sched");
             std::unique_lock<std::mutex> lock(mu);
             for (;;) {
                 if (done == n_tasks) return;
                 if (ready.empty()) {
+                    obs::ScopedSpan wait_span(
+                        obs::enabled() ? "wait:worker-" + std::to_string(worker_id)
+                                       : std::string(),
+                        "flow.sched");
                     cv.wait(lock, [&] { return !ready.empty() || done == n_tasks; });
                     continue;
                 }
                 const std::size_t t = ready.front();
                 ready.pop_front();
+                tel.queue_depth.set(static_cast<std::int64_t>(ready.size()));
                 const std::size_t dsn = t / n_stages;
                 const std::size_t s = t % n_stages;
                 lock.unlock();
@@ -170,18 +215,48 @@ RunReport runFlow(const FlowGraph& graph, std::span<const DesignInput> designs,
                         woke_any = true;
                     }
                 }
+                tel.queue_depth.set(static_cast<std::int64_t>(ready.size()));
                 if (done == n_tasks || woke_any) cv.notify_all();
             }
         };
 
         std::vector<std::thread> pool;
         pool.reserve(n_workers);
-        for (unsigned i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+        for (unsigned i = 0; i < n_workers; ++i) pool.emplace_back(worker, i);
         for (std::thread& th : pool) th.join();
     }
 
     return RunReport(std::string(kFlowCodeVersion), std::move(tt.records), n_workers,
                      opts.sim_threads);
+}
+
+// ---- StageRecord -------------------------------------------------------
+
+void StageRecord::writeJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("design", design);
+    w.kv("stage", stage);
+    w.kv("key", key);
+    if (failed) {
+        w.kv("error", error);
+    } else {
+        w.kv("artifact", digest);
+        w.key("metrics");
+        w.beginObject();
+        for (const auto& [k, v] : artifact.meta()) w.kv(k, v);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void StageRecord::writeProfileJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("design", design);
+    w.kv("stage", stage);
+    w.kv("cache", failed ? "failed" : (cache_hit ? "hit" : "miss"));
+    w.kv("wall_ms", wall_ms);
+    if (itemsPerSecond() > 0) w.kv("items_per_second", itemsPerSecond());
+    w.endObject();
 }
 
 // ---- RunReport ---------------------------------------------------------
@@ -240,22 +315,7 @@ std::string RunReport::reportJson() const {
     w.kv("code_version", code_version_);
     w.key("stages");
     w.beginArray();
-    for (const StageRecord& r : records_) {
-        w.beginObject();
-        w.kv("design", r.design);
-        w.kv("stage", r.stage);
-        w.kv("key", r.key);
-        if (r.failed) {
-            w.kv("error", r.error);
-        } else {
-            w.kv("artifact", r.digest);
-            w.key("metrics");
-            w.beginObject();
-            for (const auto& [k, v] : r.artifact.meta()) w.kv(k, v);
-            w.endObject();
-        }
-        w.endObject();
-    }
+    for (const StageRecord& r : records_) r.writeJson(w);
     w.endArray();
     w.endObject();
     return w.str() + "\n";
@@ -276,16 +336,35 @@ std::string RunReport::profileJson() const {
     w.kv("peak_tests", peakTests());
     w.key("stages");
     w.beginArray();
+    for (const StageRecord& r : records_) r.writeProfileJson(w);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string RunReport::benchJson() const {
+    double worked_ms = 0.0;
+    double work_items = 0.0;
     for (const StageRecord& r : records_) {
-        w.beginObject();
-        w.kv("design", r.design);
-        w.kv("stage", r.stage);
-        w.kv("cache", r.failed ? "failed" : (r.cache_hit ? "hit" : "miss"));
-        w.kv("wall_ms", r.wall_ms);
-        if (r.work_items > 0 && r.wall_ms > 0)
-            w.kv("items_per_second", r.work_items / (r.wall_ms / 1000.0));
-        w.endObject();
+        if (r.work_items > 0 && r.wall_ms > 0) {
+            worked_ms += r.wall_ms;
+            work_items += r.work_items;
+        }
     }
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.bench.flow/1");
+    w.kv("threads", static_cast<std::int64_t>(threads_));
+    w.kv("sim_threads", static_cast<std::int64_t>(sim_threads_));
+    w.kv("tasks", records_.size());
+    w.kv("cache_hits", hits());
+    w.kv("cache_misses", misses());
+    w.kv("total_wall_ms", totalWallMs());
+    w.kv("work_items", work_items);
+    if (worked_ms > 0) w.kv("items_per_second", work_items / (worked_ms / 1000.0));
+    w.key("stages");
+    w.beginArray();
+    for (const StageRecord& r : records_) r.writeProfileJson(w);
     w.endArray();
     w.endObject();
     return w.str() + "\n";
@@ -297,9 +376,7 @@ TextTable RunReport::table() const {
     for (const StageRecord& r : records_) {
         if (!last_design.empty() && r.design != last_design) t.addRule();
         last_design = r.design;
-        const double ips = (r.work_items > 0 && r.wall_ms > 0)
-                               ? r.work_items / (r.wall_ms / 1000.0)
-                               : 0.0;
+        const double ips = r.itemsPerSecond();
         t.addRow({r.design, r.stage, r.failed ? "FAILED" : (r.cache_hit ? "hit" : "miss"),
                   fmt(r.wall_ms, 2), ips > 0 ? fmt(ips, 0) : "-", r.key.substr(0, 12)});
     }

@@ -25,6 +25,8 @@
 
 #include "flow/cache.hpp"
 #include "flow/graph.hpp"
+#include "util/exec_policy.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 #include <span>
@@ -42,7 +44,8 @@ struct DesignInput {
 
 struct FlowOptions {
     /// Scheduler workers. 1 = run inline on the calling thread;
-    /// 0 = one per hardware thread.
+    /// 0 = one per hardware thread. Deprecated alias of
+    /// ExecPolicy::threads — resolution goes through schedExec().
     unsigned threads = 1;
     /// Inner fault-simulation budget handed to each stage (FaultSimOptions).
     unsigned sim_threads = 1;
@@ -50,6 +53,10 @@ struct FlowOptions {
     std::string cache_dir = ".flowcache";
     /// Disable the cache entirely (every stage recomputes).
     bool use_cache = true;
+
+    /// Unified policy view of the scheduler width. Floor of one task per
+    /// worker: resolveThreads(n_tasks) clamps the pool to the task count.
+    [[nodiscard]] ExecPolicy schedExec() const noexcept { return ExecPolicy{threads, 1}; }
 };
 
 /// Outcome of one (design, stage) task.
@@ -64,6 +71,19 @@ struct StageRecord {
     std::string error;
     double wall_ms = 0.0;      ///< profile only — excluded from reportJson
     double work_items = 0.0;   ///< from meta "work_items" (e.g. faults graded)
+
+    /// Deterministic report entry (design, stage, key, digest, metrics) —
+    /// the shared writeJson(JsonWriter&) convention (see util/json.hpp).
+    void writeJson(JsonWriter& w) const;
+
+    /// Non-deterministic profile entry (cache verdict, wall time,
+    /// items/sec). Kept separate so the determinism split stays explicit.
+    void writeProfileJson(JsonWriter& w) const;
+
+    /// Items/sec when the stage actually ran, else 0.
+    [[nodiscard]] double itemsPerSecond() const noexcept {
+        return (work_items > 0 && wall_ms > 0) ? work_items / (wall_ms / 1000.0) : 0.0;
+    }
 };
 
 class RunReport {
@@ -90,6 +110,12 @@ public:
     /// Non-deterministic observability: wall time, cache hit/miss,
     /// items/sec per stage plus run totals. Ends with a newline.
     [[nodiscard]] std::string profileJson() const;
+
+    /// Bench-trajectory export (schema flh.bench.flow/1): per-stage wall
+    /// time and items/sec plus aggregate faults/sec over the stages that
+    /// actually ran — the root-level BENCH_flow.json contract consumed by
+    /// CI. Non-deterministic (timing). Ends with a newline.
+    [[nodiscard]] std::string benchJson() const;
 
     /// Console view of the profile.
     [[nodiscard]] TextTable table() const;

@@ -1,0 +1,252 @@
+#include "obs/telemetry.hpp"
+
+#include "util/json.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace flh::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One recorded interval. Timestamps are wall-clock and therefore live
+/// strictly on the non-deterministic export side.
+struct SpanEvent {
+    std::string name;
+    std::string cat;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+};
+
+/// One thread's span storage. Owned by the registry for the process
+/// lifetime; only the owning thread appends, so the mutex is uncontended
+/// except while an exporter snapshots.
+struct Lane {
+    std::size_t id = 0;
+    std::mutex mu;
+    std::string label;
+    std::vector<SpanEvent> events;
+};
+
+struct Registry {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Lane>> lanes;
+    // Ordered maps: export iterates them directly in sorted-name order.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry; // intentionally leaked: threads may
+    return *r;                         // outlive static destruction order
+}
+
+Clock::time_point processEpoch() {
+    static const Clock::time_point t0 = Clock::now();
+    return t0;
+}
+
+/// The calling thread's lane, registered on first use.
+Lane& myLane() {
+    thread_local Lane* lane = [] {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.lanes.push_back(std::make_unique<Lane>());
+        r.lanes.back()->id = r.lanes.size() - 1;
+        return r.lanes.back().get();
+    }();
+    return *lane;
+}
+
+} // namespace
+
+void setEnabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+    if (on) (void)processEpoch(); // pin the epoch before the first span
+}
+
+void reset() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& lane : r.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        lane->events.clear();
+        lane->label.clear();
+    }
+    for (auto& [name, c] : r.counters) c->v_.store(0, std::memory_order_relaxed);
+    for (auto& [name, g] : r.gauges) {
+        g->v_.store(0, std::memory_order_relaxed);
+        g->peak_.store(0, std::memory_order_relaxed);
+    }
+}
+
+Counter& counter(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.counters.find(name);
+    if (it == r.counters.end())
+        it = r.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+    return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.gauges.find(name);
+    if (it == r.gauges.end())
+        it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    return *it->second;
+}
+
+void setThreadLabel(std::string label) {
+    if (!enabled()) return;
+    Lane& lane = myLane();
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.label = std::move(label);
+}
+
+double nowUs() noexcept {
+    return std::chrono::duration<double, std::micro>(Clock::now() - processEpoch()).count();
+}
+
+#if FLH_OBS_COMPILED_IN
+
+ScopedSpan::ScopedSpan(std::string name, std::string category) {
+    if (!enabled()) return;
+    name_ = std::move(name);
+    cat_ = std::move(category);
+    start_us_ = nowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (start_us_ < 0.0) return;
+    const double end_us = nowUs();
+    Lane& lane = myLane();
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.events.push_back(
+        SpanEvent{std::move(name_), std::move(cat_), start_us_, end_us - start_us_});
+}
+
+#else
+
+ScopedSpan::ScopedSpan(std::string, std::string) {}
+ScopedSpan::~ScopedSpan() = default;
+
+#endif
+
+std::size_t spanCount() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::size_t n = 0;
+    for (auto& lane : r.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        n += lane->events.size();
+    }
+    return n;
+}
+
+std::size_t laneCount() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::size_t n = 0;
+    for (auto& lane : r.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        if (!lane->events.empty() || !lane->label.empty()) ++n;
+    }
+    return n;
+}
+
+std::string traceJson() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    w.beginObject();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", 1);
+    w.key("args");
+    w.beginObject();
+    w.kv("name", "flh");
+    w.endObject();
+    w.endObject();
+    for (auto& lane : r.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        if (lane->events.empty() && lane->label.empty()) continue;
+        w.beginObject();
+        w.kv("name", "thread_name");
+        w.kv("ph", "M");
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::int64_t>(lane->id));
+        w.key("args");
+        w.beginObject();
+        w.kv("name", lane->label.empty() ? "thread-" + std::to_string(lane->id)
+                                         : lane->label);
+        w.endObject();
+        w.endObject();
+        for (const SpanEvent& e : lane->events) {
+            w.beginObject();
+            w.kv("name", e.name);
+            w.kv("cat", e.cat.empty() ? "flh" : e.cat);
+            w.kv("ph", "X");
+            w.kv("ts", e.ts_us);
+            w.kv("dur", e.dur_us);
+            w.kv("pid", 1);
+            w.kv("tid", static_cast<std::int64_t>(lane->id));
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string metricsJson() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+
+    std::size_t spans = 0;
+    std::size_t lanes = 0;
+    for (auto& lane : r.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        spans += lane->events.size();
+        if (!lane->events.empty() || !lane->label.empty()) ++lanes;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.obs.metrics/1");
+    w.kv("spans", spans);
+    w.kv("lanes", lanes);
+    w.key("counters");
+    w.beginObject();
+    for (const auto& [name, c] : r.counters) w.kv(name, c->value());
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto& [name, g] : r.gauges) {
+        w.key(name);
+        w.beginObject();
+        w.kv("value", g->value());
+        w.kv("peak", g->peak());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+} // namespace flh::obs

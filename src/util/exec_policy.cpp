@@ -1,0 +1,20 @@
+#include "util/exec_policy.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace flh {
+
+unsigned ExecPolicy::hardwareThreads() noexcept {
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ExecPolicy::resolveThreads(std::size_t n_items) const noexcept {
+    std::size_t t = threads ? threads : hardwareThreads();
+    if (min_items_per_worker > 0)
+        t = std::min<std::size_t>(t,
+                                  std::max<std::size_t>(1, n_items / min_items_per_worker));
+    return static_cast<unsigned>(std::max<std::size_t>(1, t));
+}
+
+} // namespace flh

@@ -64,4 +64,23 @@ private:
     bool pending_key_ = false;
 };
 
+/// Shared report convention: a result struct that is serialized anywhere
+/// (CLI reports, bench exports, telemetry metrics) exposes
+/// `void writeJson(JsonWriter&) const`, emitting itself as exactly one
+/// JSON value into the writer's current position. DftEvaluation,
+/// FaultSimResult, and the flow StageRecord all follow it, so every
+/// emitter composes them instead of hand-rolling fields.
+template <typename T>
+concept JsonWritable = requires(const T& t, JsonWriter& w) {
+    { t.writeJson(w) };
+};
+
+/// Wrap one JsonWritable value as a standalone document (trailing newline
+/// included, matching every report file in the repo).
+template <JsonWritable T> [[nodiscard]] std::string toJsonDocument(const T& v) {
+    JsonWriter w;
+    v.writeJson(w);
+    return w.str() + "\n";
+}
+
 } // namespace flh

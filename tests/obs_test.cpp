@@ -1,0 +1,457 @@
+// Telemetry subsystem: span nesting and thread-lane attribution, counter
+// aggregation across worker threads, gauge high-water tracking, Chrome
+// trace_event export (parsed back by a mini JSON reader), metrics export
+// structure, and the determinism firewall — flow_report.json must be
+// byte-identical with telemetry on vs. off.
+#include "obs/telemetry.hpp"
+
+#include "flow/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace flh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini JSON reader: just enough to parse our own exports back and prove
+// they are well-formed (objects, arrays, strings with escapes, numbers,
+// bools, null). Throws std::runtime_error on malformed input.
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    [[nodiscard]] const JsonValue& at(const std::string& k) const {
+        const auto it = obj.find(k);
+        if (it == obj.end()) throw std::runtime_error("missing key: " + k);
+        return it->second;
+    }
+    [[nodiscard]] bool has(const std::string& k) const { return obj.count(k) > 0; }
+};
+
+class JsonReader {
+public:
+    explicit JsonReader(std::string_view text) : s_(text) {}
+
+    JsonValue parseDocument() {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing bytes after document");
+        return v;
+    }
+
+private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error("json parse error at byte " + std::to_string(pos_) +
+                                 ": " + why);
+    }
+    void skipWs() {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end");
+        return s_[pos_];
+    }
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue() {
+        skipWs();
+        const char c = peek();
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') return parseLiteralBool();
+        if (c == 'n') {
+            parseLiteral("null");
+            return JsonValue{};
+        }
+        return parseNumber();
+    }
+
+    void parseLiteral(std::string_view lit) {
+        if (s_.substr(pos_, lit.size()) != lit) fail("bad literal");
+        pos_ += lit.size();
+    }
+    JsonValue parseLiteralBool() {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.b = true;
+        } else {
+            parseLiteral("false");
+        }
+        return v;
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') break;
+            if (c == '\\') {
+                if (pos_ >= s_.size()) fail("unterminated escape");
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    // Exports only \u-escape control bytes; keep raw hex tail.
+                    out += "\\u";
+                    out += s_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                }
+                default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue parseNumber() {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Num;
+        v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    JsonValue parseArray() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Arr;
+        skipWs();
+        if (consume(']')) return v;
+        while (true) {
+            v.arr.push_back(parseValue());
+            skipWs();
+            if (consume(']')) break;
+            expect(',');
+        }
+        return v;
+    }
+
+    JsonValue parseObject() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Obj;
+        skipWs();
+        if (consume('}')) return v;
+        while (true) {
+            skipWs();
+            std::string k = parseString();
+            skipWs();
+            expect(':');
+            v.obj.emplace(std::move(k), parseValue());
+            skipWs();
+            if (consume('}')) break;
+            expect(',');
+        }
+        return v;
+    }
+};
+
+JsonValue parseJson(const std::string& text) { return JsonReader(text).parseDocument(); }
+
+/// All "X" (complete) events from a parsed trace document.
+std::vector<JsonValue> completeEvents(const JsonValue& trace) {
+    std::vector<JsonValue> out;
+    for (const JsonValue& e : trace.at("traceEvents").arr)
+        if (e.at("ph").str == "X") out.push_back(e);
+    return out;
+}
+
+/// Fresh telemetry state per test; disables recording on teardown so obs
+/// tests never leak an enabled flag into other suites.
+struct ObsFixture : ::testing::Test {
+    void SetUp() override {
+        obs::setEnabled(false);
+        obs::reset();
+    }
+    void TearDown() override {
+        obs::setEnabled(false);
+        obs::reset();
+    }
+};
+
+using ObsDisabled = ObsFixture;
+using ObsSpans = ObsFixture;
+using ObsCounters = ObsFixture;
+using ObsExport = ObsFixture;
+using ObsFlow = ObsFixture;
+
+TEST_F(ObsDisabled, HooksRecordNothingWhileDisabled) {
+    ASSERT_FALSE(obs::enabled());
+    obs::Counter& c = obs::counter("obs_test.disabled");
+    obs::Gauge& g = obs::gauge("obs_test.disabled_gauge");
+    obs::setThreadLabel("should-not-stick");
+    {
+        obs::ScopedSpan outer("disabled-span");
+        obs::ScopedSpan inner("disabled-inner", "cat");
+        c.add(5);
+        g.set(42);
+    }
+    EXPECT_EQ(obs::spanCount(), 0u);
+    EXPECT_EQ(obs::laneCount(), 0u);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.peak(), 0);
+}
+
+TEST_F(ObsDisabled, SpanOpenedWhileDisabledStaysInertAfterEnable) {
+    std::unique_ptr<obs::ScopedSpan> span =
+        std::make_unique<obs::ScopedSpan>("pre-enable");
+    obs::setEnabled(true);
+    span.reset(); // closes after enable; must not record (start was inactive)
+    EXPECT_EQ(obs::spanCount(), 0u);
+}
+
+TEST_F(ObsSpans, NestingRecordsBothIntervalsOnOneLane) {
+    obs::setEnabled(true);
+    obs::setThreadLabel("obs-test-main");
+    {
+        obs::ScopedSpan outer("outer-span", "obs_test");
+        {
+            obs::ScopedSpan inner("inner-span", "obs_test");
+        }
+    }
+    EXPECT_EQ(obs::spanCount(), 2u);
+    EXPECT_EQ(obs::laneCount(), 1u);
+
+    const JsonValue trace = parseJson(obs::traceJson());
+    const auto events = completeEvents(trace);
+    ASSERT_EQ(events.size(), 2u);
+    const JsonValue* outer = nullptr;
+    const JsonValue* inner = nullptr;
+    for (const JsonValue& e : events) {
+        if (e.at("name").str == "outer-span") outer = &e;
+        if (e.at("name").str == "inner-span") inner = &e;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    // Same lane, and the inner interval sits inside the outer one.
+    EXPECT_EQ(outer->at("tid").num, inner->at("tid").num);
+    EXPECT_EQ(outer->at("cat").str, "obs_test");
+    EXPECT_GE(inner->at("ts").num, outer->at("ts").num);
+    EXPECT_LE(inner->at("ts").num + inner->at("dur").num,
+              outer->at("ts").num + outer->at("dur").num);
+
+    // The lane's metadata record carries the label we set.
+    bool saw_label = false;
+    for (const JsonValue& e : trace.at("traceEvents").arr)
+        if (e.at("ph").str == "M" && e.at("name").str == "thread_name" &&
+            e.at("args").at("name").str == "obs-test-main")
+            saw_label = true;
+    EXPECT_TRUE(saw_label);
+}
+
+TEST_F(ObsCounters, AggregateAcrossWorkerThreadsOntoSeparateLanes) {
+    obs::setEnabled(true);
+    obs::Counter& c = obs::counter("obs_test.work");
+    constexpr int kThreads = 4;
+    constexpr int kAddsPerThread = 1000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&c, t] {
+            obs::setThreadLabel("obs-worker-" + std::to_string(t));
+            obs::ScopedSpan span("worker-body", "obs_test");
+            for (int i = 0; i < kAddsPerThread; ++i) c.add();
+        });
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+    EXPECT_EQ(obs::spanCount(), static_cast<std::size_t>(kThreads));
+    EXPECT_EQ(obs::laneCount(), static_cast<std::size_t>(kThreads));
+
+    // Every worker exports on its own tid with its own label.
+    const JsonValue trace = parseJson(obs::traceJson());
+    std::map<double, std::string> label_by_tid;
+    for (const JsonValue& e : trace.at("traceEvents").arr)
+        if (e.at("ph").str == "M" && e.at("name").str == "thread_name")
+            label_by_tid[e.at("tid").num] = e.at("args").at("name").str;
+    std::map<double, int> spans_by_tid;
+    for (const JsonValue& e : completeEvents(trace)) ++spans_by_tid[e.at("tid").num];
+    EXPECT_EQ(spans_by_tid.size(), static_cast<std::size_t>(kThreads));
+    for (const auto& [tid, n] : spans_by_tid) {
+        EXPECT_EQ(n, 1) << "tid " << tid;
+        ASSERT_TRUE(label_by_tid.count(tid)) << "tid " << tid << " has no label";
+        EXPECT_EQ(label_by_tid[tid].rfind("obs-worker-", 0), 0u) << label_by_tid[tid];
+    }
+}
+
+TEST_F(ObsCounters, GaugeTracksValueAndHighWater) {
+    obs::setEnabled(true);
+    obs::Gauge& g = obs::gauge("obs_test.depth");
+    g.set(5);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2);
+    EXPECT_EQ(g.peak(), 5);
+    obs::reset();
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.peak(), 0);
+    // Address stability: the registry still hands back the same object.
+    EXPECT_EQ(&g, &obs::gauge("obs_test.depth"));
+}
+
+TEST_F(ObsExport, MetricsJsonParsesWithExpectedStructure) {
+    obs::setEnabled(true);
+    obs::counter("obs_test.metric_a").add(3);
+    obs::counter("obs_test.metric_b").add(7);
+    obs::gauge("obs_test.metric_gauge").set(9);
+    {
+        obs::ScopedSpan span("metrics-span");
+    }
+    const std::string doc = obs::metricsJson();
+    ASSERT_FALSE(doc.empty());
+    EXPECT_EQ(doc.back(), '\n');
+
+    const JsonValue v = parseJson(doc);
+    EXPECT_EQ(v.at("schema").str, "flh.obs.metrics/1");
+    EXPECT_GE(v.at("spans").num, 1.0);
+    EXPECT_GE(v.at("lanes").num, 1.0);
+    EXPECT_EQ(v.at("counters").at("obs_test.metric_a").num, 3.0);
+    EXPECT_EQ(v.at("counters").at("obs_test.metric_b").num, 7.0);
+    EXPECT_EQ(v.at("gauges").at("obs_test.metric_gauge").at("value").num, 9.0);
+    EXPECT_EQ(v.at("gauges").at("obs_test.metric_gauge").at("peak").num, 9.0);
+}
+
+TEST_F(ObsExport, TraceJsonIsChromeLoadableShape) {
+    obs::setEnabled(true);
+    {
+        obs::ScopedSpan span("shape-span", "obs_test");
+    }
+    const std::string doc = obs::traceJson();
+    const JsonValue v = parseJson(doc);
+    // Top level: displayTimeUnit + traceEvents, process metadata first.
+    EXPECT_EQ(v.at("displayTimeUnit").str, "ms");
+    const auto& events = v.at("traceEvents").arr;
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().at("ph").str, "M");
+    EXPECT_EQ(events.front().at("name").str, "process_name");
+    for (const JsonValue& e : events) {
+        EXPECT_EQ(e.at("pid").num, 1.0);
+        const std::string& ph = e.at("ph").str;
+        ASSERT_TRUE(ph == "M" || ph == "X") << "unexpected phase " << ph;
+        if (ph == "X") {
+            EXPECT_FALSE(e.at("name").str.empty());
+            EXPECT_FALSE(e.at("cat").str.empty());
+            EXPECT_GE(e.at("dur").num, 0.0);
+            EXPECT_TRUE(e.has("ts"));
+            EXPECT_TRUE(e.has("tid"));
+        }
+    }
+}
+
+/// Two-stage, two-design flow used for the determinism firewall test.
+FlowGraph tinyGraph() {
+    FlowGraph g;
+    g.addStage({"parse", "", {}, [](const StageContext& ctx) {
+                    Artifact a;
+                    a.setStr("value", "parsed:" + ctx.source());
+                    return a;
+                }});
+    g.addStage({"grade", "", {"parse"}, [](const StageContext& ctx) {
+                    Artifact a;
+                    a.setStr("value", ctx.input("parse").str("value") + "|graded");
+                    a.setNum("coverage_pct", 93.5);
+                    return a;
+                }});
+    return g;
+}
+
+TEST_F(ObsFlow, FlowReportBytesIdenticalWithTelemetryOnVsOff) {
+    const std::vector<DesignInput> designs = {{"alpha", "src-alpha", ""},
+                                              {"beta", "src-beta", ""}};
+    FlowOptions opts;
+    opts.use_cache = false;
+    opts.threads = 2;
+
+    ASSERT_FALSE(obs::enabled());
+    const RunReport off = runFlow(tinyGraph(), designs, opts);
+    EXPECT_EQ(obs::spanCount(), 0u);
+
+    obs::setEnabled(true);
+    const RunReport on = runFlow(tinyGraph(), designs, opts);
+    EXPECT_GT(obs::spanCount(), 0u);
+
+    // The determinism firewall: the deterministic report must not move by
+    // a single byte when telemetry records the same run.
+    EXPECT_EQ(off.reportJson(), on.reportJson());
+    EXPECT_EQ(off.failures(), 0u);
+    EXPECT_EQ(on.failures(), 0u);
+}
+
+TEST_F(ObsFlow, FlowRunEmitsOneStageSpanPerDesignStagePair) {
+    const std::vector<DesignInput> designs = {{"alpha", "src-alpha", ""},
+                                              {"beta", "src-beta", ""}};
+    FlowOptions opts;
+    opts.use_cache = false;
+    obs::setEnabled(true);
+    (void)runFlow(tinyGraph(), designs, opts);
+
+    const JsonValue trace = parseJson(obs::traceJson());
+    std::map<std::string, int> stage_spans;
+    for (const JsonValue& e : completeEvents(trace))
+        if (e.at("cat").str == "flow.stage") ++stage_spans[e.at("name").str];
+    for (const char* want : {"alpha/parse", "alpha/grade", "beta/parse", "beta/grade"})
+        EXPECT_EQ(stage_spans[want], 1) << want;
+
+    // Counters see the same run: 4 tasks, all cache-off misses.
+    const JsonValue metrics = parseJson(obs::metricsJson());
+    EXPECT_EQ(metrics.at("counters").at("flow.tasks").num, 4.0);
+    EXPECT_EQ(metrics.at("counters").at("flow.cache_hits").num, 0.0);
+}
+
+} // namespace
+} // namespace flh

@@ -43,6 +43,40 @@ TEST(FaultSimOptions, ResolveThreads) {
     EXPECT_GE(opts.resolveThreads(100000), 1u);
 }
 
+TEST(FaultSimOptions, ResolveThreadsGuardsDegenerateKnobs) {
+    // min_faults_per_worker == 0 disables the work-based clamp instead of
+    // dividing by zero.
+    FaultSimOptions opts;
+    opts.threads = 4;
+    opts.min_faults_per_worker = 0;
+    EXPECT_EQ(opts.resolveThreads(1), 4u);
+    EXPECT_EQ(opts.resolveThreads(0), 4u);
+    // Auto thread count is >= 1 even where hardware_concurrency() reports 0.
+    opts.threads = 0;
+    opts.min_faults_per_worker = 1;
+    EXPECT_GE(ExecPolicy::hardwareThreads(), 1u);
+    EXPECT_EQ(opts.resolveThreads(1u << 20), ExecPolicy::hardwareThreads());
+}
+
+TEST(FaultSimOptions, ExecPolicyViewMirrorsLegacyFields) {
+    // The legacy threads/min_faults_per_worker fields are thin aliases of
+    // the shared ExecPolicy: both views must resolve identically.
+    FaultSimOptions opts;
+    opts.threads = 3;
+    opts.min_faults_per_worker = 10;
+    EXPECT_EQ(opts.exec().threads, 3u);
+    EXPECT_EQ(opts.exec().min_items_per_worker, 10u);
+    for (const std::size_t n : {0u, 5u, 25u, 1000u})
+        EXPECT_EQ(opts.resolveThreads(n), opts.exec().resolveThreads(n)) << n;
+
+    ExecPolicy p;
+    p.threads = 7;
+    p.min_items_per_worker = 2;
+    opts.setExec(p);
+    EXPECT_EQ(opts.threads, 7u);
+    EXPECT_EQ(opts.min_faults_per_worker, 2u);
+}
+
 TEST(ParallelFaultSim, StuckAtDeterministicAcrossThreadCounts) {
     for (const char* name : {"s298", "s1423"}) {
         const Netlist nl = makeCircuit(name, lib());

@@ -1,3 +1,4 @@
+#include "util/exec_policy.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -144,6 +145,42 @@ TEST(Table, Csv) {
     std::ostringstream os;
     writeCsv(os, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
     EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(ExecPolicy, ExplicitThreadCountClampedByWorkFloor) {
+    ExecPolicy p;
+    p.threads = 8;
+    p.min_items_per_worker = 64;
+    EXPECT_EQ(p.resolveThreads(100000), 8u);
+    EXPECT_EQ(p.resolveThreads(64 * 3), 3u); // floor shrinks the pool
+    EXPECT_EQ(p.resolveThreads(10), 1u);
+    EXPECT_EQ(p.resolveThreads(0), 1u); // never zero workers
+}
+
+TEST(ExecPolicy, AutoThreadsFollowsHardware) {
+    ExecPolicy p;
+    p.threads = 0; // auto
+    p.min_items_per_worker = 1;
+    const unsigned hw = ExecPolicy::hardwareThreads();
+    EXPECT_GE(hw, 1u); // guarded even where hardware_concurrency() == 0
+    EXPECT_EQ(p.resolveThreads(1u << 20), hw);
+    EXPECT_EQ(p.resolveThreads(1), 1u);
+}
+
+TEST(ExecPolicy, ZeroFloorMeansNoWorkBasedClamp) {
+    // min_items_per_worker == 0 must not divide by zero: it disables the
+    // work-based clamp entirely.
+    ExecPolicy p;
+    p.threads = 6;
+    p.min_items_per_worker = 0;
+    EXPECT_EQ(p.resolveThreads(1), 6u);
+    EXPECT_EQ(p.resolveThreads(0), 6u);
+    EXPECT_EQ(p.resolveThreads(100000), 6u);
+}
+
+TEST(ExecPolicy, DefaultIsSerial) {
+    const ExecPolicy p;
+    EXPECT_EQ(p.resolveThreads(100000), 1u);
 }
 
 } // namespace
