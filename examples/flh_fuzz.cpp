@@ -1,0 +1,190 @@
+// flh_fuzz: differential verification driver.
+//
+//   flh_fuzz --seeds 500                  # cross-engine + DFT-equivalence fuzz
+//   flh_fuzz --inject-mutant --seeds 20   # mutation-testing smoke: the checker
+//                                         # must catch a corrupted FLH netlist
+//   flh_fuzz --check-corpus tests/corpus  # replay committed reproducers
+//
+// Every seed deterministically generates a random sequential circuit, scans
+// it, and cross-checks: a naive reference evaluator vs PatternSim,
+// SequentialSim::clock vs the nextState oracle, serial vs parallel fault
+// simulation at every --threads count (bitmaps and n-detect counts), and the
+// paper's Fig. 5b two-pattern protocol under enhanced scan / MUX-hold / FLH
+// vs direct evaluation. Any mismatch is greedily shrunk to a small .bench +
+// .pairs reproducer under --corpus and the run exits non-zero.
+//
+// In --inject-mutant mode the FLH variant is deliberately corrupted (one gate
+// function flipped) and the exit codes invert: 0 means the checker caught the
+// mutant within the seed budget, 1 means it slept through — the guard against
+// a vacuously-passing checker.
+#include "obs/telemetry.hpp"
+#include "util/strings.hpp"
+#include "verify/corpus.hpp"
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace flh;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: flh_fuzz [options]
+  --seeds N            fuzz seeds to run (default 100)
+  --start-seed N       first seed (default 1)
+  --pairs N            random (V1,V2) pairs per seed (default 12)
+  --atpg-pairs N       ATPG-generated pairs per seed (default 6)
+  --patterns N         stuck-at patterns per seed (default 16)
+  --max-faults N       fault-list cap per seed (default 96)
+  --threads LIST       comma-separated thread counts to cross-check
+                       (default 1,4)
+  --corpus DIR         where shrunk reproducers are written
+                       (default fuzz_corpus)
+  --no-shrink          report mismatches without minimizing them
+  --keep-going         do not stop at the first finding
+  --check-corpus DIR   replay every reproducer in DIR through the
+                       equivalence checker instead of fuzzing
+  --inject-mutant      corrupt the FLH variant (mutation-testing smoke);
+                       exit 0 iff the checker catches it
+  --mutant-seed N      mutation seed for --inject-mutant (default 1)
+  --trace FILE         write a Chrome trace_event JSON (enables telemetry)
+  --metrics FILE       write flat telemetry metrics (enables telemetry)
+  --quiet              suppress per-finding console output
+  --help
+)";
+
+[[noreturn]] void usageError(const std::string& msg) {
+    std::cerr << "flh_fuzz: " << msg << "\n" << kUsage;
+    std::exit(2);
+}
+
+template <typename T> T parseNum(const std::string& flag, const std::string& s) {
+    T v{};
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size())
+        usageError("bad value for " + flag + ": '" + s + "'");
+    return v;
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::cerr << "flh_fuzz: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << bytes;
+}
+
+int replayCorpus(const std::string& dir, bool quiet) {
+    const Library lib = makeDefaultLibrary();
+    const std::vector<CorpusEntry> corpus = loadCorpus(dir, lib);
+    std::size_t bad = 0;
+    for (const CorpusEntry& entry : corpus) {
+        const EquivalenceReport rep = checkDftEquivalence(entry.netlist, entry.pairs);
+        if (!quiet)
+            std::cout << entry.name << ": " << rep.pairs_checked << " pairs, "
+                      << (rep.ok() ? "ok" : "MISMATCH") << "\n";
+        if (!rep.ok()) {
+            ++bad;
+            std::cerr << "flh_fuzz: corpus entry '" << entry.name << "' fails: "
+                      << rep.summary() << "\n";
+        }
+    }
+    if (!quiet)
+        std::cout << corpus.size() << " corpus entries replayed, " << bad << " failing\n";
+    return bad == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    FuzzOptions opts;
+    opts.corpus_dir = "fuzz_corpus";
+    std::string check_corpus_dir;
+    std::string trace_path;
+    std::string metrics_path;
+    bool inject_mutant = false;
+    std::uint64_t mutant_seed = 1;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usageError("missing value after " + arg);
+            return argv[++i];
+        };
+        if (arg == "--seeds") opts.seeds = parseNum<std::size_t>(arg, next());
+        else if (arg == "--start-seed") opts.start_seed = parseNum<std::uint64_t>(arg, next());
+        else if (arg == "--pairs") opts.random_pairs = parseNum<std::size_t>(arg, next());
+        else if (arg == "--atpg-pairs") opts.atpg_pairs = parseNum<std::size_t>(arg, next());
+        else if (arg == "--patterns") opts.stuck_patterns = parseNum<std::size_t>(arg, next());
+        else if (arg == "--max-faults") opts.max_faults = parseNum<std::size_t>(arg, next());
+        else if (arg == "--threads") {
+            opts.thread_counts.clear();
+            for (const std::string& t : splitTrim(next(), ','))
+                opts.thread_counts.push_back(parseNum<unsigned>(arg, t));
+            if (opts.thread_counts.empty()) usageError("empty --threads list");
+        } else if (arg == "--corpus") opts.corpus_dir = next();
+        else if (arg == "--no-shrink") opts.shrink = false;
+        else if (arg == "--keep-going") opts.stop_on_first = false;
+        else if (arg == "--check-corpus") check_corpus_dir = next();
+        else if (arg == "--inject-mutant") inject_mutant = true;
+        else if (arg == "--mutant-seed") mutant_seed = parseNum<std::uint64_t>(arg, next());
+        else if (arg == "--trace") trace_path = next();
+        else if (arg == "--metrics") metrics_path = next();
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else usageError("unknown option '" + arg + "'");
+    }
+
+    if (!trace_path.empty() || !metrics_path.empty()) {
+        obs::setEnabled(true);
+        obs::setThreadLabel("main");
+    }
+
+    int exit_code = 0;
+    if (!check_corpus_dir.empty()) {
+        try {
+            exit_code = replayCorpus(check_corpus_dir, quiet);
+        } catch (const std::exception& e) {
+            std::cerr << "flh_fuzz: " << e.what() << "\n";
+            exit_code = 1;
+        }
+    } else {
+        if (inject_mutant) opts.mutant_seed = mutant_seed;
+        const FuzzReport rep = runFuzz(opts);
+
+        if (!quiet) {
+            std::cout << rep.seeds_run << " seeds, " << rep.checks_run << " checks, "
+                      << rep.findings.size() << " findings\n";
+            for (const FuzzFinding& f : rep.findings) {
+                std::cout << "seed " << f.seed << " [" << f.check << "] " << f.detail << "\n";
+                if (!f.bench_path.empty())
+                    std::cout << "  reproducer: " << f.bench_path << " + " << f.pairs_path
+                              << " (" << f.shrunk_gates << " gates after shrink)\n";
+            }
+        }
+
+        if (inject_mutant) {
+            const bool caught = std::any_of(
+                rep.findings.begin(), rep.findings.end(),
+                [](const FuzzFinding& f) { return f.check == "dft-equivalence"; });
+            if (!quiet)
+                std::cout << "mutant " << (caught ? "caught" : "NOT caught") << " within "
+                          << rep.seeds_run << " seeds\n";
+            exit_code = caught ? 0 : 1;
+        } else {
+            exit_code = rep.ok() ? 0 : 1;
+        }
+    }
+
+    if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
+    if (!metrics_path.empty()) writeFile(metrics_path, obs::metricsJson());
+    return exit_code;
+}

@@ -109,6 +109,8 @@ ApplicationResult TwoPatternApplicator::apply(const TwoPattern& tp) {
     seq.setPis(toPv(tp.v2.pis));
     seq.setHolding(false);
     seq.settle();
+    res.po_launch.reserve(nl_->pos().size());
+    for (const NetId po : nl_->pos()) res.po_launch.push_back(sim.get(po).get(0));
     phase("launch", 1, true, mark);
 
     // Phase 5: capture at the rated clock.

@@ -42,6 +42,7 @@ struct ApplicationResult {
     bool hold_intact = false;     ///< comb state == response(V1) through phase 3
     double hold_fidelity_pct = 0.0; ///< fraction of gate outputs that held
     bool launch_faithful = false; ///< transition applied was exactly V1 -> V2
+    std::vector<Logic> po_launch; ///< primary-output response after the launch settle
     std::vector<Logic> captured;  ///< FF capture after the rated clock
     std::vector<Logic> scan_out;  ///< captured state shifted back out
 };

@@ -1,0 +1,163 @@
+#include "verify/corpus.hpp"
+
+#include "netlist/bench_io.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace flh {
+
+namespace {
+
+std::string bitsToken(const std::vector<Logic>& bits) {
+    if (bits.empty()) return "-";
+    std::string s;
+    s.reserve(bits.size());
+    for (const Logic b : bits) s.push_back(toChar(b));
+    return s;
+}
+
+std::vector<Logic> parseToken(const std::string& tok, int line) {
+    if (tok == "-") return {};
+    std::vector<Logic> out;
+    out.reserve(tok.size());
+    for (const char c : tok) {
+        switch (c) {
+            case '0': out.push_back(Logic::Zero); break;
+            case '1': out.push_back(Logic::One); break;
+            case 'X':
+            case 'x': out.push_back(Logic::X); break;
+            default:
+                throw std::runtime_error("pairs parse error at line " + std::to_string(line) +
+                                         ": bad bit '" + std::string(1, c) + "'");
+        }
+    }
+    return out;
+}
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+std::string pairsToString(const std::vector<TwoPattern>& pairs, const std::string& note) {
+    std::ostringstream os;
+    if (!note.empty()) {
+        std::istringstream lines(note);
+        std::string line;
+        while (std::getline(lines, line)) os << "# " << line << "\n";
+    }
+    os << "# <v1_pis> <v1_state> <v2_pis> <v2_state>   ('-' = empty)\n";
+    for (const TwoPattern& tp : pairs)
+        os << bitsToken(tp.v1.pis) << " " << bitsToken(tp.v1.state) << " "
+           << bitsToken(tp.v2.pis) << " " << bitsToken(tp.v2.state) << "\n";
+    return os.str();
+}
+
+std::vector<TwoPattern> parsePairs(const std::string& text, std::string* note_out) {
+    std::vector<TwoPattern> out;
+    std::string note;
+    bool in_leading_comments = true;
+
+    std::istringstream lines(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(lines, raw)) {
+        ++line_no;
+        const std::string_view line = trim(raw);
+        if (line.empty()) continue;
+        if (line.front() == '#') {
+            // The schema line pairsToString always appends is boilerplate,
+            // not part of the entry's note — skip it so notes round-trip.
+            const std::string_view body = trim(line.substr(1));
+            if (in_leading_comments && body.rfind("<v1_pis>", 0) != 0) {
+                if (!note.empty()) note.push_back('\n');
+                note.append(body);
+            }
+            continue;
+        }
+        in_leading_comments = false;
+        const std::vector<std::string> toks = splitTrim(line, ' ');
+        if (toks.size() != 4)
+            throw std::runtime_error("pairs parse error at line " + std::to_string(line_no) +
+                                     ": expected 4 tokens, got " + std::to_string(toks.size()));
+        TwoPattern tp;
+        tp.v1.pis = parseToken(toks[0], line_no);
+        tp.v1.state = parseToken(toks[1], line_no);
+        tp.v2.pis = parseToken(toks[2], line_no);
+        tp.v2.state = parseToken(toks[3], line_no);
+        if (tp.v1.pis.size() != tp.v2.pis.size() || tp.v1.state.size() != tp.v2.state.size())
+            throw std::runtime_error("pairs parse error at line " + std::to_string(line_no) +
+                                     ": V1/V2 shape mismatch");
+        out.push_back(std::move(tp));
+    }
+    if (note_out) *note_out = std::move(note);
+    return out;
+}
+
+ReproducerPaths writeReproducer(const std::string& dir, const std::string& stem,
+                                const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                                const std::string& note) {
+    namespace fs = std::filesystem;
+    fs::create_directories(dir);
+    ReproducerPaths paths;
+    paths.bench = (fs::path(dir) / (stem + ".bench")).string();
+    paths.pairs = (fs::path(dir) / (stem + ".pairs")).string();
+
+    std::ofstream bench(paths.bench, std::ios::binary | std::ios::trunc);
+    if (!bench) throw std::runtime_error("cannot write " + paths.bench);
+    writeBench(bench, nl);
+
+    std::ofstream pf(paths.pairs, std::ios::binary | std::ios::trunc);
+    if (!pf) throw std::runtime_error("cannot write " + paths.pairs);
+    pf << pairsToString(pairs, note);
+    return paths;
+}
+
+std::vector<CorpusEntry> loadCorpus(const std::string& dir, const Library& lib) {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(dir)) throw std::runtime_error("corpus dir not found: " + dir);
+
+    std::map<std::string, std::pair<bool, bool>> stems; // stem -> (has bench, has pairs)
+    for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+        if (!e.is_regular_file()) continue;
+        const fs::path p = e.path();
+        if (p.extension() == ".bench") stems[p.stem().string()].first = true;
+        else if (p.extension() == ".pairs") stems[p.stem().string()].second = true;
+    }
+
+    std::vector<CorpusEntry> out;
+    for (const auto& [stem, have] : stems) {
+        if (!have.first || !have.second)
+            throw std::runtime_error("corpus entry '" + stem + "' is missing its " +
+                                     (have.first ? ".pairs" : ".bench") + " file");
+        const std::string bench_path = (fs::path(dir) / (stem + ".bench")).string();
+        const std::string pairs_path = (fs::path(dir) / (stem + ".pairs")).string();
+        Netlist nl = readBenchFile(bench_path, lib);
+        std::string note;
+        std::vector<TwoPattern> pairs = parsePairs(readFile(pairs_path), &note);
+        for (const TwoPattern& tp : pairs) {
+            if (tp.v1.pis.size() != nl.pis().size() || tp.v1.state.size() != nl.flipFlops().size())
+                throw std::runtime_error("corpus entry '" + stem + "': pair shape (" +
+                                         std::to_string(tp.v1.pis.size()) + " pis, " +
+                                         std::to_string(tp.v1.state.size()) + " state bits) " +
+                                         "does not match the netlist");
+        }
+        out.push_back(CorpusEntry{stem, std::move(nl), std::move(pairs), std::move(note)});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CorpusEntry& a, const CorpusEntry& b) { return a.name < b.name; });
+    return out;
+}
+
+} // namespace flh

@@ -1,0 +1,57 @@
+// Reproducer corpus: every bug the fuzzer ever found, kept as a permanent
+// regression test.
+//
+// One reproducer is two sibling files sharing a stem:
+//   <stem>.bench — the (usually shrunk) netlist, standard ISCAS89 .bench
+//                  (netlist/bench_io.hpp round-trips it);
+//   <stem>.pairs — the two-pattern stimuli, one pair per line:
+//                      <v1_pis> <v1_state> <v2_pis> <v2_state>
+//                  each token a string over {0,1,X} indexed like pis() /
+//                  flipFlops(), or "-" for an empty vector (zero-FF or
+//                  zero-PI circuits). '#' starts a comment; the leading
+//                  comment block is the entry's note (what the bug was).
+//
+// tests/corpus/ holds the committed entries (hand-written seeds plus
+// anything the fuzzer shrinks); tests/verify_test.cpp replays them all.
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+#include <string>
+#include <vector>
+
+namespace flh {
+
+struct CorpusEntry {
+    std::string name; ///< file stem
+    Netlist netlist;
+    std::vector<TwoPattern> pairs;
+    std::string note; ///< leading comment block of the .pairs file
+};
+
+/// Serialize pairs to the .pairs text format (note emitted as comments).
+[[nodiscard]] std::string pairsToString(const std::vector<TwoPattern>& pairs,
+                                        const std::string& note = "");
+
+/// Parse a .pairs text. Throws std::runtime_error with a line number on
+/// malformed input. `note_out`, when given, receives the leading comments.
+[[nodiscard]] std::vector<TwoPattern> parsePairs(const std::string& text,
+                                                 std::string* note_out = nullptr);
+
+/// Paths of one written reproducer.
+struct ReproducerPaths {
+    std::string bench;
+    std::string pairs;
+};
+
+/// Write <dir>/<stem>.bench + <dir>/<stem>.pairs (creating `dir` if needed).
+ReproducerPaths writeReproducer(const std::string& dir, const std::string& stem,
+                                const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                                const std::string& note = "");
+
+/// Load every <stem>.bench + <stem>.pairs pair under `dir`, sorted by stem.
+/// Validates each pair's shape against its netlist; a .bench without a
+/// sibling .pairs (or vice versa) is an error.
+[[nodiscard]] std::vector<CorpusEntry> loadCorpus(const std::string& dir, const Library& lib);
+
+} // namespace flh

@@ -1,0 +1,369 @@
+#include "verify/fuzz.hpp"
+
+#include "dft/scan.hpp"
+#include "fault/parallel_sim.hpp"
+#include "obs/telemetry.hpp"
+#include "util/rng.hpp"
+#include "verify/corpus.hpp"
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace flh {
+
+namespace {
+
+constexpr std::uint64_t kPairSeedMix = 0xD1B54A32D192ED03ULL;
+constexpr std::uint64_t kEngineSeedMix = 0x8CB92BA72F3D8DD7ULL;
+
+/// Naive scalar reference evaluation: one pattern, gate by gate in topo
+/// order through evalCellScalar. Shares nothing with the event-driven
+/// engine beyond the cell truth tables.
+std::vector<Logic> refEval(const Netlist& nl, const Pattern& p) {
+    std::vector<Logic> val(nl.netCount(), Logic::X);
+    for (std::size_t k = 0; k < p.pis.size(); ++k) val[nl.pis()[k]] = p.pis[k];
+    for (std::size_t k = 0; k < p.state.size(); ++k)
+        val[nl.gate(nl.flipFlops()[k]).output] = p.state[k];
+    std::vector<Logic> ins;
+    for (const GateId g : nl.topoOrder()) {
+        const Gate& gate = nl.gate(g);
+        ins.clear();
+        for (const NetId in : gate.inputs) ins.push_back(val[in]);
+        val[gate.output] = evalCellScalar(gate.fn, ins);
+    }
+    return val;
+}
+
+/// Pack the V1 halves of up to 64 pairs into one PatternSim pass and compare
+/// every net of every slot against the scalar reference.
+bool perNetMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                    std::string* detail) {
+    const std::size_t n = std::min<std::size_t>(pairs.size(), 64);
+    if (n == 0) return false;
+    PatternSim sim(nl);
+    for (std::size_t k = 0; k < nl.pis().size(); ++k) {
+        PV v;
+        for (unsigned i = 0; i < n; ++i) v.set(i, pairs[i].v1.pis[k]);
+        sim.setNet(nl.pis()[k], v);
+    }
+    for (std::size_t k = 0; k < nl.flipFlops().size(); ++k) {
+        PV v;
+        for (unsigned i = 0; i < n; ++i) v.set(i, pairs[i].v1.state[k]);
+        sim.setNet(nl.gate(nl.flipFlops()[k]).output, v);
+    }
+    sim.evalAll();
+    for (unsigned i = 0; i < n; ++i) {
+        const std::vector<Logic> ref = refEval(nl, pairs[i].v1);
+        for (NetId net = 0; net < nl.netCount(); ++net) {
+            if (sim.get(net).get(i) == ref[net]) continue;
+            if (detail) {
+                std::ostringstream os;
+                os << "net " << nl.net(net).name << " slot " << i << ": reference "
+                   << toChar(ref[net]) << ", PatternSim " << toChar(sim.get(net).get(i));
+                *detail = os.str();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool seqCaptureMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                        std::string* detail) {
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        const Pattern& p = pairs[pi].v1;
+        SequentialSim seq(nl, HoldStyle::None);
+        std::vector<PV> st(p.state.size());
+        for (std::size_t k = 0; k < st.size(); ++k) st[k] = PV::all(p.state[k]);
+        seq.setState(st);
+        std::vector<PV> pis(p.pis.size());
+        for (std::size_t k = 0; k < pis.size(); ++k) pis[k] = PV::all(p.pis[k]);
+        seq.setPis(pis);
+        seq.settle();
+        seq.clock();
+        const std::vector<Logic> oracle = nextState(nl, p);
+        for (std::size_t k = 0; k < oracle.size(); ++k) {
+            if (seq.state()[k].get(0) == oracle[k]) continue;
+            if (detail) {
+                std::ostringstream os;
+                os << "pair " << pi << " FF " << k << ": nextState " << toChar(oracle[k])
+                   << ", SequentialSim::clock " << toChar(seq.state()[k].get(0));
+                *detail = os.str();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool masksDiffer(const std::vector<bool>& a, const std::vector<bool>& b, std::size_t* where) {
+    if (a.size() != b.size()) {
+        if (where) *where = 0;
+        return true;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            if (where) *where = i;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<FaultSite> stuckFaults(const Netlist& nl, std::size_t cap) {
+    std::vector<FaultSite> f = collapsedStuckAtFaults(nl);
+    if (f.size() > cap) f.resize(cap);
+    return f;
+}
+
+std::vector<TransitionFault> transitionFaults(const Netlist& nl, std::size_t cap) {
+    std::vector<TransitionFault> f = allTransitionFaults(nl);
+    if (f.size() > cap) f.resize(cap);
+    return f;
+}
+
+FaultSimOptions poolOptions(unsigned threads) {
+    FaultSimOptions o;
+    o.threads = threads;
+    o.min_faults_per_worker = 1; // force a real pool even on tiny fault lists
+    return o;
+}
+
+bool stuckBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                         const FuzzOptions& opts, std::string* detail) {
+    std::vector<Pattern> pats;
+    pats.reserve(pairs.size());
+    for (const TwoPattern& tp : pairs) pats.push_back(tp.v1);
+    const std::vector<FaultSite> faults = stuckFaults(nl, opts.max_faults);
+    const FaultSimResult serial = runStuckAtFaultSim(nl, pats, faults);
+    for (const unsigned t : opts.thread_counts) {
+        const FaultSimResult par = runStuckAtFaultSim(nl, pats, faults, poolOptions(t));
+        std::size_t where = 0;
+        if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
+            if (detail) {
+                std::ostringstream os;
+                os << "threads=" << t << " fault " << toString(nl, faults[where]) << ": serial "
+                   << serial.detected_mask[where] << ", parallel " << par.detected_mask[where];
+                *detail = os.str();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool transitionBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                              const FuzzOptions& opts, std::string* detail) {
+    const std::vector<TransitionFault> faults = transitionFaults(nl, opts.max_faults);
+    const FaultSimResult serial = runTransitionFaultSim(nl, pairs, faults);
+    for (const unsigned t : opts.thread_counts) {
+        const FaultSimResult par = runTransitionFaultSim(nl, pairs, faults, poolOptions(t));
+        std::size_t where = 0;
+        if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
+            if (detail) {
+                std::ostringstream os;
+                os << "threads=" << t << " fault " << toString(nl, faults[where]) << ": serial "
+                   << serial.detected_mask[where] << ", parallel " << par.detected_mask[where];
+                *detail = os.str();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+bool nDetectMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                     const FuzzOptions& opts, std::string* detail) {
+    const std::vector<TransitionFault> faults = transitionFaults(nl, opts.max_faults);
+    const std::vector<std::size_t> serial =
+        countTransitionDetections(nl, pairs, faults, poolOptions(1));
+    for (const unsigned t : opts.thread_counts) {
+        const std::vector<std::size_t> par =
+            countTransitionDetections(nl, pairs, faults, poolOptions(t));
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            if (par.size() == serial.size() && par[i] == serial[i]) continue;
+            if (detail) {
+                std::ostringstream os;
+                os << "threads=" << t << " fault " << toString(nl, faults[i]) << ": serial "
+                   << serial[i] << " detections, parallel "
+                   << (i < par.size() ? std::to_string(par[i]) : std::string("<missing>"));
+                *detail = os.str();
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Inject some X bits so Kleene propagation is fuzzed too (the fault-sim
+/// checks keep the fully-specified list; X-detection semantics are theirs
+/// to define, value agreement is not).
+std::vector<TwoPattern> withXBits(std::vector<TwoPattern> pairs, std::uint64_t seed) {
+    Rng rng(seed);
+    for (TwoPattern& tp : pairs)
+        for (Pattern* p : {&tp.v1, &tp.v2}) {
+            for (Logic& b : p->pis)
+                if (rng.chance(0.12)) b = Logic::X;
+            for (Logic& b : p->state)
+                if (rng.chance(0.12)) b = Logic::X;
+        }
+    return pairs;
+}
+
+struct CheckDef {
+    const char* name;
+    FailurePredicate fails;
+    const std::vector<TwoPattern>* pairs;
+};
+
+} // namespace
+
+CircuitSpec fuzzSpec(std::uint64_t seed) {
+    Rng rng(seed ^ 0xF022);
+    CircuitSpec s;
+    s.name = "fuzz" + std::to_string(seed);
+    s.n_pis = rng.range(3, 8);
+    s.n_pos = rng.range(2, 4);
+    s.n_ffs = rng.range(3, 10);
+    s.depth = rng.range(4, 11);
+    s.n_comb_gates = rng.range(30, 110);
+    s.ff_fanout_avg = 1.5 + rng.uniform() * 2.0;
+    s.unique_ratio = 1.0 + rng.uniform() * std::min(2.0, s.ff_fanout_avg - 1.0);
+    s.seed = rng.next();
+    // The generator needs enough interior gates beyond the first level to
+    // drive every FF D pin after reserving one backbone gate per level:
+    // n_comb_gates >= n_fl + (depth - 1) + n_ffs.
+    const int n_fl = static_cast<int>(s.unique_ratio * s.n_ffs + 0.5);
+    s.n_comb_gates = std::max(s.n_comb_gates, n_fl + s.depth + s.n_ffs + 4);
+    return s;
+}
+
+FuzzReport runFuzz(const FuzzOptions& opts) {
+    static obs::Counter& c_seeds = obs::counter("verify.fuzz.seeds");
+    static obs::Counter& c_checks = obs::counter("verify.fuzz.checks");
+    static obs::Counter& c_findings = obs::counter("verify.fuzz.findings");
+
+    const Library& lib = [] () -> const Library& {
+        static const Library l = makeDefaultLibrary();
+        return l;
+    }();
+
+    FuzzReport rep;
+    for (std::uint64_t seed = opts.start_seed; seed < opts.start_seed + opts.seeds; ++seed) {
+        obs::ScopedSpan seed_span("seed-" + std::to_string(seed), "verify.seed");
+        c_seeds.add(1);
+        ++rep.seeds_run;
+
+        Netlist scanned = generateCircuit(fuzzSpec(seed), lib);
+        insertScan(scanned);
+
+        const std::vector<TwoPattern> engine_pairs =
+            randomTwoPatterns(scanned, opts.stuck_patterns, seed * kEngineSeedMix + 1);
+        const std::vector<TwoPattern> x_pairs = withXBits(engine_pairs, seed ^ 0x5E);
+        const std::vector<TwoPattern> eq_pairs =
+            makeEquivalencePairs(scanned, opts.random_pairs, opts.atpg_pairs,
+                                 seed * kPairSeedMix + 1);
+
+        const EquivalenceOptions eq_opts;
+        std::optional<Netlist> mutant;
+        VariantNetlists variants;
+        MutantInfo mutant_info;
+        if (opts.mutant_seed != 0) {
+            mutant = injectMutant(scanned, opts.mutant_seed ^ (seed * kPairSeedMix),
+                                  &mutant_info);
+            variants.flh = &*mutant;
+        }
+
+        const std::vector<CheckDef> checks = {
+            {"per-net",
+             [](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return perNetMismatch(n, ps, nullptr);
+             },
+             &x_pairs},
+            {"seq-capture",
+             [](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return seqCaptureMismatch(n, ps, nullptr);
+             },
+             &x_pairs},
+            {"stuck-bitmap",
+             [&opts](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return stuckBitmapMismatch(n, ps, opts, nullptr);
+             },
+             &engine_pairs},
+            {"transition-bitmap",
+             [&opts](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return transitionBitmapMismatch(n, ps, opts, nullptr);
+             },
+             &engine_pairs},
+            {"n-detect",
+             [&opts](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return nDetectMismatch(n, ps, opts, nullptr);
+             },
+             &engine_pairs},
+            {"dft-equivalence",
+             [&eq_opts, &variants](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return !checkDftEquivalence(n, ps, eq_opts, variants).ok();
+             },
+             &eq_pairs},
+        };
+
+        for (const CheckDef& check : checks) {
+            obs::ScopedSpan check_span(check.name, "verify.check");
+            c_checks.add(1);
+            ++rep.checks_run;
+            if (!check.fails(scanned, *check.pairs)) continue;
+
+            c_findings.add(1);
+            FuzzFinding finding;
+            finding.seed = seed;
+            finding.check = check.name;
+
+            // Re-run the detailed probe for the report text.
+            std::string detail;
+            if (finding.check == "per-net") perNetMismatch(scanned, *check.pairs, &detail);
+            else if (finding.check == "seq-capture")
+                seqCaptureMismatch(scanned, *check.pairs, &detail);
+            else if (finding.check == "stuck-bitmap")
+                stuckBitmapMismatch(scanned, *check.pairs, opts, &detail);
+            else if (finding.check == "transition-bitmap")
+                transitionBitmapMismatch(scanned, *check.pairs, opts, &detail);
+            else if (finding.check == "n-detect")
+                nDetectMismatch(scanned, *check.pairs, opts, &detail);
+            else
+                detail = checkDftEquivalence(scanned, *check.pairs, eq_opts, variants).summary();
+            if (opts.mutant_seed != 0 && finding.check == "dft-equivalence")
+                detail += " [injected mutant: " + mutant_info.describe() + "]";
+            finding.detail = detail;
+
+            // Shrink and persist — except expected mutant findings, which
+            // are the mutation-testing success signal, not a bug.
+            const bool expected_mutant =
+                opts.mutant_seed != 0 && finding.check == "dft-equivalence";
+            if (opts.shrink && !opts.corpus_dir.empty() && !expected_mutant) {
+                ShrinkOptions sh;
+                sh.max_rounds = opts.shrink_rounds;
+                const ShrinkResult shrunk =
+                    shrinkReproducer(scanned, *check.pairs, check.fails, sh);
+                finding.shrunk_gates = shrunk.gates_after;
+                std::ostringstream note;
+                note << "fuzz seed " << seed << " check " << finding.check << ": " << detail
+                     << "\nshrunk from " << shrunk.gates_before << " gates / "
+                     << shrunk.pairs_before << " pairs to " << shrunk.gates_after << " / "
+                     << shrunk.pairs_after;
+                std::string stem = "fuzz_seed" + std::to_string(seed) + "_" + finding.check;
+                std::replace(stem.begin(), stem.end(), '-', '_');
+                const ReproducerPaths paths = writeReproducer(
+                    opts.corpus_dir, stem, shrunk.netlist, shrunk.pairs, note.str());
+                finding.bench_path = paths.bench;
+                finding.pairs_path = paths.pairs;
+            }
+            rep.findings.push_back(std::move(finding));
+            if (opts.stop_on_first) return rep;
+        }
+    }
+    return rep;
+}
+
+} // namespace flh

@@ -1,0 +1,59 @@
+// Greedy reproducer minimization: shrink a failing (netlist, pair set) while
+// the failure persists, so every bug the fuzzer finds becomes a small,
+// human-readable regression test.
+//
+// Two reduction moves, applied to a fixpoint:
+//  * drop pairs — remove each (V1, V2) pair in turn, keep the removal if the
+//    predicate still fails;
+//  * drop gates — remove one gate (combinational or flip-flop) and promote
+//    its output net to a primary input whose per-pattern value is the net's
+//    settled value in the *unshrunk* candidate. Freezing the removed cone at
+//    its observed values leaves every surviving net's response unchanged, so
+//    a mismatch rooted elsewhere keeps reproducing while the netlist melts
+//    away around it.
+//
+// Gate order and primary-input order are preserved across a removal (the new
+// input is appended at the end), so pair vectors remap mechanically and the
+// predicate sees structurally comparable inputs every round.
+#pragma once
+
+#include "fault/fault_sim.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace flh {
+
+/// Returns true while the candidate still exhibits the failure.
+using FailurePredicate = std::function<bool(const Netlist&, const std::vector<TwoPattern>&)>;
+
+struct ShrinkOptions {
+    std::size_t max_rounds = 6; ///< full drop-pairs + drop-gates sweeps
+};
+
+struct ShrinkResult {
+    Netlist netlist;
+    std::vector<TwoPattern> pairs;
+    std::size_t rounds = 0;
+    std::size_t gates_before = 0;
+    std::size_t gates_after = 0;
+    std::size_t pairs_before = 0;
+    std::size_t pairs_after = 0;
+};
+
+/// Minimize `nl`/`pairs` under `still_fails` (which must hold for the inputs
+/// as given — throws std::invalid_argument otherwise, a guard against
+/// shrinking a non-reproducer).
+[[nodiscard]] ShrinkResult shrinkReproducer(Netlist nl, std::vector<TwoPattern> pairs,
+                                            const FailurePredicate& still_fails,
+                                            const ShrinkOptions& opts = {});
+
+/// One gate-removal step: rebuild without gate `victim`, promoting its output
+/// net to a trailing primary input, and remap `pairs` (per-pattern frozen
+/// value for combinational victims; the state bit moves into the new input
+/// for flip-flop victims). Exposed for direct testing.
+[[nodiscard]] std::pair<Netlist, std::vector<TwoPattern>> removeGate(
+    const Netlist& nl, GateId victim, const std::vector<TwoPattern>& pairs);
+
+} // namespace flh
