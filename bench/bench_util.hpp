@@ -3,12 +3,12 @@
 #pragma once
 
 #include "dft/design.hpp"
+#include "obs/benchio.hpp"
 #include "power/power.hpp"
 #include "dft/scan.hpp"
 #include "iscas/circuits.hpp"
 #include "util/json.hpp"
 
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -52,8 +52,12 @@ inline std::vector<std::string> paperCircuitNames() {
 /// carries identical DftEvaluation objects.
 using DftEvalRows = std::vector<std::pair<std::string, std::vector<DftEvaluation>>>;
 
-inline void writeDftEvalExport(const std::string& path, const std::string& schema,
-                               const DftEvalRows& rows) {
+/// Writes the table export inside the shared provenance envelope
+/// (obs/benchio.hpp): the legacy {"schema", "circuits"} payload nests under
+/// "results", and the path resolves through --out / FLH_BENCH_OUT.
+inline void writeDftEvalExport(const std::string& filename, const std::string& schema,
+                               const DftEvalRows& rows,
+                               const std::string& out_flag = "") {
     JsonWriter w;
     w.beginObject();
     w.kv("schema", schema);
@@ -70,12 +74,10 @@ inline void writeDftEvalExport(const std::string& path, const std::string& schem
     }
     w.endArray();
     w.endObject();
-    std::ofstream out(path, std::ios::trunc);
-    out << w.str() << "\n";
-    if (out)
-        std::cerr << "wrote " << path << " (" << rows.size() << " circuits)\n";
-    else
-        std::cerr << "failed to write " << path << "\n";
+
+    obs::BenchWriter bw(schema);
+    bw.setResults(w.str());
+    bw.writeFile(filename, out_flag);
 }
 
 } // namespace flh::bench

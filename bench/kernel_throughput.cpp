@@ -3,9 +3,12 @@
 // simulation, parallel-pattern fault simulation, STA, power analysis, and
 // the analog transient stepper.
 // Besides the console output, every run exports
-// BENCH_kernel_throughput.json — per-benchmark real time and faults/sec
-// (items_per_second) keyed by engine and thread count — so the performance
-// trajectory stays machine-readable across PRs.
+// BENCH_kernel_throughput.json — per-benchmark repetition statistics
+// (median/min/IQR real time and faults/sec over >= 5 measured reps after 1
+// warmup, repetitions injected unless --benchmark_repetitions is given)
+// inside the shared provenance envelope (obs/benchio.hpp), so
+// flh_benchdiff can gate the performance trajectory across PRs. The
+// output directory honors --out / FLH_BENCH_OUT.
 #include "bench_util.hpp"
 #include "analog/flh_chain.hpp"
 #include "fault/fault_sim.hpp"
@@ -18,8 +21,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
+#include <map>
 
 using namespace flh;
 using namespace flh::bench;
@@ -200,71 +204,114 @@ void BM_ScanShiftSim(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanShiftSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-/// Console reporter that additionally collects every iteration run and
-/// writes the compact JSON export into the working directory.
+/// Console reporter that additionally collects every per-repetition run,
+/// folds them into repetition statistics (first rep dropped as warmup),
+/// and writes the envelope export through BenchWriter.
 class JsonExportReporter final : public benchmark::ConsoleReporter {
 public:
     void ReportRuns(const std::vector<Run>& runs) override {
         benchmark::ConsoleReporter::ReportRuns(runs);
         for (const Run& run : runs) {
             if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-            Entry e;
-            e.name = run.benchmark_name();
-            e.real_time_ns = run.GetAdjustedRealTime() *
+            // One sample per repetition; aggregates (mean/median rows) are
+            // RT_Aggregate and excluded above. Strip the "/repeats:N" name
+            // component so every repetition lands in the same group.
+            std::string name = run.benchmark_name();
+            if (const auto pos = name.find("/repeats:"); pos != std::string::npos) {
+                const auto end = name.find('/', pos + 1);
+                name.erase(pos, end == std::string::npos ? std::string::npos
+                                                         : end - pos);
+            }
+            const auto [it_group, inserted] = groups_.try_emplace(name, Samples{});
+            if (inserted) order_.push_back(name);
+            Samples& s = it_group->second;
+            const double t = run.GetAdjustedRealTime() *
                              benchmark::GetTimeUnitMultiplier(benchmark::kNanosecond) /
                              benchmark::GetTimeUnitMultiplier(run.time_unit);
+            double ips = 0.0;
             if (const auto it = run.counters.find("items_per_second");
                 it != run.counters.end())
-                e.items_per_second = it->second;
-            entries_.push_back(std::move(e));
+                ips = it->second;
+            // First repetition of a group is the warmup: caches, branch
+            // predictors, and the allocator settle before anything counts.
+            if (s.warmup_dropped == 0) {
+                s.warmup_dropped = 1;
+            } else {
+                s.time_ns.push_back(t);
+                if (ips > 0) s.ips.push_back(ips);
+            }
         }
     }
 
-    void Finalize() override {
-        benchmark::ConsoleReporter::Finalize();
-        JsonWriter w;
-        w.beginObject();
-        w.kv("schema", "flh.bench.kernel_throughput/1");
-        w.key("benchmarks");
-        w.beginArray();
-        for (const Entry& e : entries_) e.writeJson(w);
-        w.endArray();
-        w.endObject();
-        std::ofstream out("BENCH_kernel_throughput.json", std::ios::trunc);
-        out << w.str() << "\n";
-        if (out)
-            std::cerr << "wrote BENCH_kernel_throughput.json (" << entries_.size()
-                      << " benchmarks)\n";
-        else
-            std::cerr << "failed to write BENCH_kernel_throughput.json\n";
+    void writeExport(const std::string& out_flag) const {
+        obs::BenchWriter bw("flh.bench.kernel_throughput/1");
+        for (const std::string& name : order_) {
+            const Samples& s = groups_.at(name);
+            obs::BenchEntry e;
+            e.name = name;
+            e.threads = threadsFromName(name);
+            e.warmup = s.warmup_dropped;
+            e.time_samples = s.time_ns;
+            e.ips_samples = s.ips;
+            // A group that only ever saw one repetition (user override of
+            // --benchmark_repetitions=1) keeps that single run as its
+            // sample rather than exporting an empty entry.
+            if (e.time_samples.empty() && s.warmup_dropped == 1) continue;
+            bw.add(std::move(e));
+        }
+        bw.writeFile("BENCH_kernel_throughput.json", out_flag);
     }
 
 private:
-    /// Follows the shared writeJson(JsonWriter&) convention (util/json.hpp).
-    struct Entry {
-        std::string name;
-        double real_time_ns = 0.0;
-        double items_per_second = 0.0;
-
-        void writeJson(JsonWriter& w) const {
-            w.beginObject();
-            w.kv("name", name);
-            w.kv("real_time_ns", real_time_ns);
-            if (items_per_second > 0) w.kv("items_per_second", items_per_second);
-            w.endObject();
-        }
+    struct Samples {
+        int warmup_dropped = 0;
+        std::vector<double> time_ns;
+        std::vector<double> ips;
     };
-    static_assert(JsonWritable<Entry>);
-    std::vector<Entry> entries_;
+
+    /// The "threads:N" component of a benchmark name, 0 when absent (which
+    /// also matches the knob's "one per hardware thread" spelling).
+    static unsigned threadsFromName(const std::string& name) {
+        const auto pos = name.find("threads:");
+        if (pos == std::string::npos) return 0;
+        return static_cast<unsigned>(
+            std::strtoul(name.c_str() + pos + 8, nullptr, 10));
+    }
+
+    std::map<std::string, Samples> groups_;
+    std::vector<std::string> order_; ///< first-seen order for the export
 };
 
 } // namespace
 
 int main(int argc, char** argv) {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    // Pull out the shared bench flags, inject the repetition default (1
+    // warmup + 5 measured reps) unless the caller chose their own, and
+    // hand the rest to google-benchmark.
+    const std::string out_flag = obs::parseBenchOutFlag(argc, argv);
+    std::vector<std::string> args;
+    bool has_reps = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out") {
+            ++i; // value consumed by parseBenchOutFlag
+            continue;
+        }
+        if (a.rfind("--out=", 0) == 0) continue;
+        if (a.rfind("--benchmark_repetitions", 0) == 0) has_reps = true;
+        args.push_back(a);
+    }
+    if (!has_reps) args.insert(args.begin(), "--benchmark_repetitions=6");
+
+    std::vector<char*> bargv;
+    bargv.push_back(argv[0]);
+    for (std::string& a : args) bargv.push_back(a.data());
+    int bargc = static_cast<int>(bargv.size());
+    benchmark::Initialize(&bargc, bargv.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
     JsonExportReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
+    reporter.writeExport(out_flag);
     benchmark::Shutdown();
     return 0;
 }

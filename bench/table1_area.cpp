@@ -14,7 +14,7 @@
 using namespace flh;
 using namespace flh::bench;
 
-int main() {
+int main(int argc, char** argv) {
     TextTable table({"Ckt", "# Flip-flops", "Total fanouts", "Unique fanouts (Ratio)",
                      "Enhanced scan %", "MUX-based %", "FLH %", "Improve vs MUX %",
                      "Improve vs enh. %"});
@@ -55,7 +55,8 @@ int main() {
                   fmt(sum_uniq_ratio / n, 2) + " /FF", "", "", "",
                   fmt(sum_impr_mux / n, 1), fmt(sum_impr_enh / n, 1)});
 
-    writeDftEvalExport("BENCH_table1_area.json", "flh.bench.table1_area/1", rows);
+    writeDftEvalExport("BENCH_table1_area.json", "flh.bench.table1_area/1", rows,
+                       obs::parseBenchOutFlag(argc, argv));
     std::cout << "TABLE I: COMPARISON OF PERCENTAGE AREA INCREASE\n" << table.render();
     std::cout << "\nPaper reference: FLH improves area overhead by ~33% vs enhanced scan\n"
                  "and ~26% vs MUX on average (2.3 fanouts and 1.8 unique fanouts per FF);\n"

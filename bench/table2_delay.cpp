@@ -14,7 +14,7 @@
 using namespace flh;
 using namespace flh::bench;
 
-int main() {
+int main(int argc, char** argv) {
     TextTable table({"Ckt", "Crit-path logic levels", "Base delay (ps)", "Enhanced scan %",
                      "MUX-based %", "FLH %", "Improve vs MUX %", "Improve vs enh. %"});
 
@@ -54,7 +54,8 @@ int main() {
     table.addRow({"average", "", "", "", "", "", fmt(sum_impr_mux / n, 1),
                   fmt(sum_impr_enh / n, 1)});
 
-    writeDftEvalExport("BENCH_table2_delay.json", "flh.bench.table2_delay/1", rows);
+    writeDftEvalExport("BENCH_table2_delay.json", "flh.bench.table2_delay/1", rows,
+                       obs::parseBenchOutFlag(argc, argv));
     std::cout << "TABLE II: COMPARISON OF DELAY OVERHEAD\n" << table.render();
     std::cout << "\nMax total-circuit-delay reduction of FLH vs enhanced scan: "
               << fmt(max_total_gain, 1) << "%\n";

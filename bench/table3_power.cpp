@@ -14,7 +14,7 @@
 using namespace flh;
 using namespace flh::bench;
 
-int main() {
+int main(int argc, char** argv) {
     TextTable table({"Ckt", "Original (uW)", "Enhanced scan %", "MUX-based %", "FLH %",
                      "Improve vs MUX %", "Improve vs enh. %"});
 
@@ -55,7 +55,8 @@ int main() {
     table.addRow({"average", "", "", "", "", fmt(sum_impr_mux / n, 1),
                   fmt(sum_impr_enh / n, 1)});
 
-    writeDftEvalExport("BENCH_table3_power.json", "flh.bench.table3_power/1", rows);
+    writeDftEvalExport("BENCH_table3_power.json", "flh.bench.table3_power/1", rows,
+                       obs::parseBenchOutFlag(argc, argv));
     std::cout << "TABLE III: COMPARISON OF POWER OVERHEAD DURING NORMAL MODE\n" << table.render();
     std::cout << "\nAverage overall-circuit-power reduction of FLH vs enhanced scan: "
               << fmt(sum_total_gain / n, 1) << "%\n";

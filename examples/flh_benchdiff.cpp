@@ -1,0 +1,145 @@
+// flh_benchdiff: run-over-run perf comparison and CI regression gate.
+//
+//   flh_benchdiff --baseline bench/baselines --candidate run/
+//
+// Loads every envelope-format BENCH_*.json under the two directories,
+// matches benchmarks by (payload_schema, name, threads), and flags a
+// regression only when the candidate median leaves the baseline IQR by
+// more than --threshold (default 10%) — repetition spread absorbs normal
+// jitter. Prints a comparison table, writes a machine BENCH_diff.json
+// (schema flh.bench.diff/1), and exits 1 on regressions or missing
+// benchmarks. --warn-only downgrades those to warnings for noisy shared
+// runners, while --fail-above R still hard-fails on catastrophic (> R x)
+// slowdowns.
+#include "obs/benchdiff.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace flh;
+using namespace flh::obs;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: flh_benchdiff --baseline DIR --candidate DIR [options]
+  --baseline DIR       envelope BENCH_*.json set to compare against
+  --candidate DIR      envelope BENCH_*.json set under test
+  --threshold F        IQR-escape ratio that flags a regression
+                       (default 0.10 = 10% beyond the baseline median)
+  --fail-above R       hard-fail when candidate median > R x baseline
+                       median, even under --warn-only (default 0 = off)
+  --min-time-ns N      skip baselines with median below N ns — timer
+                       noise dominates there (default 50000)
+  --json FILE          machine diff report (default BENCH_diff.json,
+                       honors --out / FLH_BENCH_OUT for bare filenames)
+  --out DIR            output directory for --json (default FLH_BENCH_OUT
+                       env var, then the current directory)
+  --warn-only          report regressions/missing but exit 0 (hard
+                       failures from --fail-above still exit 1)
+  --quiet              suppress the console table
+  --help
+)";
+
+[[noreturn]] void usageError(const std::string& msg) {
+    std::cerr << "flh_benchdiff: " << msg << "\n" << kUsage;
+    std::exit(2);
+}
+
+template <typename T> T parseNum(const std::string& flag, const std::string& s) {
+    T v{};
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size())
+        usageError("bad value for " + flag + ": '" + s + "'");
+    return v;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string baseline_dir;
+    std::string candidate_dir;
+    std::string json_path = "BENCH_diff.json";
+    std::string out_flag;
+    DiffOptions opts;
+    bool warn_only = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usageError("missing value after " + arg);
+            return argv[++i];
+        };
+        if (arg == "--baseline") baseline_dir = next();
+        else if (arg == "--candidate") candidate_dir = next();
+        else if (arg == "--threshold") opts.ratio = parseNum<double>(arg, next());
+        else if (arg == "--fail-above") opts.fail_above = parseNum<double>(arg, next());
+        else if (arg == "--min-time-ns") opts.min_time_ns = parseNum<double>(arg, next());
+        else if (arg == "--json") json_path = next();
+        else if (arg == "--out") out_flag = next();
+        else if (arg == "--warn-only") warn_only = true;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else usageError("unknown option '" + arg + "'");
+    }
+    if (baseline_dir.empty() || candidate_dir.empty())
+        usageError("--baseline and --candidate are both required");
+
+    std::vector<BenchPoint> base;
+    std::vector<BenchPoint> cand;
+    try {
+        base = loadBenchDir(baseline_dir);
+        cand = loadBenchDir(candidate_dir);
+    } catch (const std::exception& e) {
+        std::cerr << "flh_benchdiff: " << e.what() << "\n";
+        return 2;
+    }
+    if (base.empty()) {
+        std::cerr << "flh_benchdiff: no envelope benchmarks under " << baseline_dir << "\n";
+        return 2;
+    }
+    if (cand.empty()) {
+        std::cerr << "flh_benchdiff: no envelope benchmarks under " << candidate_dir << "\n";
+        return 2;
+    }
+
+    const DiffReport rep = diffBench(base, cand, opts);
+
+    const std::string path = benchOutPath(json_path, out_flag);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << rep.json();
+        if (!out) {
+            std::cerr << "flh_benchdiff: cannot write " << path << "\n";
+            return 2;
+        }
+    }
+
+    if (!quiet) {
+        std::cout << rep.table().render();
+        std::cout << "\n" << rep.rows.size() << " benchmarks compared: "
+                  << rep.regressions() << " regressions, " << rep.improvements()
+                  << " improvements, " << rep.added() << " new, " << rep.missing()
+                  << " missing, " << rep.count(Verdict::Skipped) << " skipped\n";
+        if (!base.empty() && !cand.empty() && !base.front().git_sha.empty())
+            std::cout << "baseline sha " << base.front().git_sha.substr(0, 12)
+                      << " -> candidate sha " << cand.front().git_sha.substr(0, 12)
+                      << "\n";
+        std::cout << "diff report: " << path << "\n";
+    }
+
+    if (rep.hardFailures()) {
+        std::cerr << "flh_benchdiff: hard failure — a benchmark slowed beyond "
+                  << opts.fail_above << "x the baseline\n";
+        return 1;
+    }
+    const bool soft_fail = rep.regressions() > 0 || rep.missing() > 0;
+    if (soft_fail && !warn_only) return 1;
+    if (soft_fail)
+        std::cerr << "flh_benchdiff: regressions present (warn-only mode, exiting 0)\n";
+    return 0;
+}

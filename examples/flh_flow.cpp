@@ -17,10 +17,19 @@
 //                      Perfetto): one lane per worker thread, spans for
 //                      every stage, cache probe, and fault-sim partition
 //   --metrics FILE     flat telemetry counters/gauges
-//   --bench-json FILE  BENCH_flow.json bench-trajectory export
+//   --bench-json FILE  BENCH_flow.json bench-trajectory export (provenance
+//                      envelope, per-stage entries, legacy payload under
+//                      "results")
+//   --sample MS        background metrics sampler: counter curves in the
+//                      trace + --timeseries export
+//   --heartbeat SEC    rate-limited stderr progress line for long runs
 #include "flow/paper_flow.hpp"
+#include "obs/benchio.hpp"
+#include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/strings.hpp"
+
+#include <memory>
 
 #include <charconv>
 #include <fstream>
@@ -46,6 +55,10 @@ constexpr const char* kUsage = R"(usage: flh_flow [options]
   --trace FILE         write a Chrome trace_event JSON (enables telemetry)
   --metrics FILE       write flat telemetry metrics (enables telemetry)
   --bench-json FILE    write the bench-trajectory export (BENCH_flow.json)
+  --out DIR            directory for bench exports (overrides FLH_BENCH_OUT)
+  --sample MS          sample counters/RSS every MS ms on a background thread
+  --timeseries FILE    write the sampled time-series (requires --sample)
+  --heartbeat SEC      print a progress heartbeat to stderr every SEC seconds
   --pairs N            ATPG random pairs (default 64)
   --seed N             ATPG seed (default 11)
   --require-hit-rate F exit 1 unless cache hit rate >= F (CI guard)
@@ -86,6 +99,10 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string metrics_path;
     std::string bench_path;
+    std::string out_flag;
+    std::string timeseries_path;
+    unsigned sample_ms = 0;
+    double heartbeat_s = 0.0;
     double require_hit_rate = -1.0;
     bool quiet = false;
     bool sim_threads_set = false;
@@ -109,6 +126,10 @@ int main(int argc, char** argv) {
         else if (arg == "--trace") trace_path = next();
         else if (arg == "--metrics") metrics_path = next();
         else if (arg == "--bench-json") bench_path = next();
+        else if (arg == "--out") out_flag = next();
+        else if (arg == "--sample") sample_ms = parseNum<unsigned>(arg, next());
+        else if (arg == "--timeseries") timeseries_path = next();
+        else if (arg == "--heartbeat") heartbeat_s = parseNum<double>(arg, next());
         else if (arg == "--pairs") cfg.random_pairs = parseNum<int>(arg, next());
         else if (arg == "--seed") cfg.atpg_seed = parseNum<std::uint64_t>(arg, next());
         else if (arg == "--require-hit-rate") {
@@ -127,9 +148,13 @@ int main(int argc, char** argv) {
     // --sim-threads remains as an explicit override.
     if (!sim_threads_set) opts.sim_threads = opts.threads;
 
+    if (!timeseries_path.empty() && sample_ms == 0)
+        usageError("--timeseries requires --sample MS");
+    if (sample_ms == 0 && heartbeat_s > 0.0) sample_ms = 200;
+
     // Telemetry stays compiled in but disabled unless an export was asked
     // for — the deterministic report is identical either way.
-    if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!trace_path.empty() || !metrics_path.empty() || sample_ms > 0) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
     }
@@ -146,13 +171,50 @@ int main(int argc, char** argv) {
     }
 
     const FlowGraph graph = buildPaperFlow(cfg);
+
+    // The sampler runs only around the flow itself so the time-series
+    // brackets real work, not argument parsing or report serialisation.
+    std::unique_ptr<obs::Sampler> sampler;
+    if (sample_ms > 0) {
+        obs::SamplerOptions sopts;
+        sopts.period_ms = sample_ms;
+        sopts.heartbeat_every_s = heartbeat_s;
+        if (heartbeat_s > 0.0) sopts.heartbeat_out = &std::cerr;
+        sampler = std::make_unique<obs::Sampler>(sopts);
+        sampler->start();
+    }
+
     const RunReport report = runFlow(graph, designs, opts);
+
+    if (sampler) sampler->stop();
 
     writeFile(report_path, report.reportJson());
     writeFile(profile_path, report.profileJson());
     if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
     if (!metrics_path.empty()) writeFile(metrics_path, obs::metricsJson());
-    if (!bench_path.empty()) writeFile(bench_path, report.benchJson());
+    if (sampler && !timeseries_path.empty())
+        writeFile(obs::benchOutPath(timeseries_path, out_flag), sampler->timeseriesJson());
+    if (!bench_path.empty()) {
+        // Envelope export: one entry per stage execution plus a whole-run
+        // aggregate, with the legacy flh.bench.flow/1 payload under
+        // "results" for consumers of the old format.
+        obs::BenchWriter bw("flh.bench.flow/1", opts.threads);
+        for (const StageRecord& r : report.records()) {
+            obs::BenchEntry e;
+            e.name = "stage/" + r.design + "/" + r.stage;
+            e.threads = opts.threads;
+            e.time_samples.push_back(r.wall_ms * 1e6);
+            if (r.work_items > 0) e.ips_samples.push_back(r.itemsPerSecond());
+            bw.add(std::move(e));
+        }
+        obs::BenchEntry total;
+        total.name = "flow/total";
+        total.threads = opts.threads;
+        total.time_samples.push_back(report.totalWallMs() * 1e6);
+        bw.add(std::move(total));
+        bw.setResults(report.benchJson());
+        writeFile(obs::benchOutPath(bench_path, out_flag), bw.json());
+    }
 
     if (!quiet) {
         std::cout << report.table().render();

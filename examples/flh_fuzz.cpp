@@ -17,6 +17,8 @@
 // function flipped) and the exit codes invert: 0 means the checker caught the
 // mutant within the seed budget, 1 means it slept through — the guard against
 // a vacuously-passing checker.
+#include "obs/benchio.hpp"
+#include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/strings.hpp"
 #include "verify/corpus.hpp"
@@ -24,9 +26,12 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace flh;
@@ -52,7 +57,10 @@ constexpr const char* kUsage = R"(usage: flh_fuzz [options]
                        exit 0 iff the checker catches it
   --mutant-seed N      mutation seed for --inject-mutant (default 1)
   --trace FILE         write a Chrome trace_event JSON (enables telemetry)
-  --metrics FILE       write flat telemetry metrics (enables telemetry)
+  --metrics FILE       write telemetry metrics wrapped in the provenance
+                       envelope (enables telemetry)
+  --out DIR            directory for --metrics (overrides FLH_BENCH_OUT)
+  --heartbeat SEC      print a progress heartbeat to stderr every SEC seconds
   --quiet              suppress per-finding console output
   --help
 )";
@@ -107,6 +115,8 @@ int main(int argc, char** argv) {
     std::string check_corpus_dir;
     std::string trace_path;
     std::string metrics_path;
+    std::string out_flag;
+    double heartbeat_s = 0.0;
     bool inject_mutant = false;
     std::uint64_t mutant_seed = 1;
     bool quiet = false;
@@ -136,6 +146,8 @@ int main(int argc, char** argv) {
         else if (arg == "--mutant-seed") mutant_seed = parseNum<std::uint64_t>(arg, next());
         else if (arg == "--trace") trace_path = next();
         else if (arg == "--metrics") metrics_path = next();
+        else if (arg == "--out") out_flag = next();
+        else if (arg == "--heartbeat") heartbeat_s = parseNum<double>(arg, next());
         else if (arg == "--quiet") quiet = true;
         else if (arg == "--help" || arg == "-h") {
             std::cout << kUsage;
@@ -143,11 +155,22 @@ int main(int argc, char** argv) {
         } else usageError("unknown option '" + arg + "'");
     }
 
-    if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!trace_path.empty() || !metrics_path.empty() || heartbeat_s > 0.0) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
     }
 
+    std::unique_ptr<obs::Sampler> sampler;
+    if (heartbeat_s > 0.0) {
+        obs::SamplerOptions sopts;
+        sopts.heartbeat_every_s = heartbeat_s;
+        sopts.heartbeat_out = &std::cerr;
+        sampler = std::make_unique<obs::Sampler>(sopts);
+        sampler->start();
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t checks_run = 0;
     int exit_code = 0;
     if (!check_corpus_dir.empty()) {
         try {
@@ -159,6 +182,7 @@ int main(int argc, char** argv) {
     } else {
         if (inject_mutant) opts.mutant_seed = mutant_seed;
         const FuzzReport rep = runFuzz(opts);
+        checks_run = rep.checks_run;
 
         if (!quiet) {
             std::cout << rep.seeds_run << " seeds, " << rep.checks_run << " checks, "
@@ -184,7 +208,26 @@ int main(int argc, char** argv) {
         }
     }
 
+    const double wall_ns =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (sampler) sampler->stop();
+
     if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
-    if (!metrics_path.empty()) writeFile(metrics_path, obs::metricsJson());
+    if (!metrics_path.empty()) {
+        // Envelope export: the flat flh.obs.metrics payload nests under
+        // "results", plus one whole-run entry so flh_benchdiff can track
+        // fuzz throughput across builds.
+        obs::BenchWriter bw("flh.obs.metrics/1");
+        obs::BenchEntry e;
+        e.name = "fuzz/checks";
+        e.threads = 1;
+        e.time_samples.push_back(wall_ns);
+        if (checks_run > 0 && wall_ns > 0.0)
+            e.ips_samples.push_back(static_cast<double>(checks_run) / (wall_ns / 1e9));
+        bw.add(std::move(e));
+        bw.setResults(obs::metricsJson());
+        writeFile(obs::benchOutPath(metrics_path, out_flag), bw.json());
+    }
     return exit_code;
 }

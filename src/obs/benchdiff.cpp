@@ -1,0 +1,275 @@
+#include "obs/benchdiff.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace flh::obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+RepStats statsFrom(const JsonValue& stats, int reps) {
+    RepStats s;
+    s.reps = reps;
+    s.median = stats.at("median").num;
+    s.min = stats.at("min").num;
+    s.max = stats.at("max").num;
+    s.q1 = stats.at("q1").num;
+    s.q3 = stats.at("q3").num;
+    return s;
+}
+
+/// Regression margin for single-rep baselines (which have no IQR).
+constexpr double kSingleRepMargin = 0.25;
+
+/// Matching identity of a point across runs.
+using PointKey = std::tuple<std::string, std::string, unsigned>;
+
+PointKey keyOf(const BenchPoint& p) { return {p.payload_schema, p.name, p.threads}; }
+
+/// "1.23ms"-style compact time for the console table.
+std::string fmtNs(double ns) {
+    std::ostringstream os;
+    os.precision(3);
+    if (ns >= 1e9)
+        os << ns / 1e9 << "s";
+    else if (ns >= 1e6)
+        os << ns / 1e6 << "ms";
+    else if (ns >= 1e3)
+        os << ns / 1e3 << "us";
+    else
+        os << ns << "ns";
+    return os.str();
+}
+
+} // namespace
+
+std::vector<BenchPoint> loadBenchDir(const std::string& dir) {
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw std::runtime_error("not a directory: " + dir);
+
+    // Deterministic file order regardless of directory enumeration order.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<BenchPoint> points;
+    for (const fs::path& path : files) {
+        std::ifstream in(path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        JsonValue doc;
+        try {
+            doc = parseJson(buf.str());
+        } catch (const std::exception& e) {
+            std::cerr << "flh_benchdiff: skipping " << path.string() << ": " << e.what()
+                      << "\n";
+            continue;
+        }
+        if (!doc.has("schema") || doc.at("schema").str != kBenchEnvelopeSchema) {
+            std::cerr << "flh_benchdiff: skipping " << path.string()
+                      << ": not a bench envelope\n";
+            continue;
+        }
+        const std::string payload_schema =
+            doc.has("payload_schema") ? doc.at("payload_schema").str : "";
+        std::string git_sha;
+        std::string build_type;
+        if (doc.has("provenance")) {
+            const JsonValue& prov = doc.at("provenance");
+            if (prov.has("git_sha")) git_sha = prov.at("git_sha").str;
+            if (prov.has("build_type")) build_type = prov.at("build_type").str;
+        }
+        for (const JsonValue& b : doc.at("benchmarks").arr) {
+            BenchPoint p;
+            p.payload_schema = payload_schema;
+            p.name = b.at("name").str;
+            p.threads = static_cast<unsigned>(b.at("threads").num);
+            p.real_time = statsFrom(b.at("real_time_ns"),
+                                    static_cast<int>(b.at("reps").num));
+            if (b.has("items_per_second"))
+                p.ips_median = b.at("items_per_second").at("median").num;
+            p.file = path.string();
+            p.git_sha = git_sha;
+            p.build_type = build_type;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+const char* verdictName(Verdict v) {
+    switch (v) {
+    case Verdict::Ok: return "ok";
+    case Verdict::Regression: return "regression";
+    case Verdict::Improvement: return "improvement";
+    case Verdict::New: return "new";
+    case Verdict::Missing: return "missing";
+    case Verdict::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+void DiffRow::writeJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("payload_schema", payload_schema);
+    w.kv("name", name);
+    w.kv("threads", static_cast<std::uint64_t>(threads));
+    w.kv("verdict", verdictName(verdict));
+    w.kv("hard_fail", hard_fail);
+    if (base_median > 0) {
+        w.kv("base_median_ns", base_median);
+        w.kv("base_q1_ns", base_q1);
+        w.kv("base_q3_ns", base_q3);
+    }
+    if (cand_median > 0) w.kv("cand_median_ns", cand_median);
+    if (ratio > 0) w.kv("ratio", ratio);
+    w.endObject();
+}
+
+std::size_t DiffReport::count(Verdict v) const {
+    std::size_t n = 0;
+    for (const DiffRow& r : rows)
+        if (r.verdict == v) ++n;
+    return n;
+}
+
+bool DiffReport::hardFailures() const {
+    return std::any_of(rows.begin(), rows.end(),
+                       [](const DiffRow& r) { return r.hard_fail; });
+}
+
+std::string DiffReport::json() const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.bench.diff/1");
+    w.key("provenance");
+    RunProvenance::collect().writeJson(w);
+    w.key("options");
+    w.beginObject();
+    w.kv("ratio", opts.ratio);
+    w.kv("fail_above", opts.fail_above);
+    w.kv("min_time_ns", opts.min_time_ns);
+    w.endObject();
+    w.key("summary");
+    w.beginObject();
+    w.kv("compared", rows.size());
+    w.kv("regressions", regressions());
+    w.kv("improvements", improvements());
+    w.kv("new", added());
+    w.kv("missing", missing());
+    w.kv("skipped", count(Verdict::Skipped));
+    w.kv("hard_failures", hardFailures());
+    w.endObject();
+    w.key("rows");
+    w.beginArray();
+    for (const DiffRow& r : rows) r.writeJson(w);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+TextTable DiffReport::table() const {
+    TextTable t({"Benchmark", "Thr", "Base med", "Cand med", "Ratio", "Base IQR",
+                 "Verdict"});
+    for (const DiffRow& r : rows) {
+        // Upper-case the verdicts a human should not scroll past.
+        std::string verdict = verdictName(r.verdict);
+        if (r.verdict == Verdict::Regression || r.verdict == Verdict::Missing)
+            for (char& c : verdict) c = static_cast<char>(std::toupper(c));
+        if (r.hard_fail) verdict += " (HARD)";
+        t.addRow({r.name, std::to_string(r.threads),
+                  r.base_median > 0 ? fmtNs(r.base_median) : "-",
+                  r.cand_median > 0 ? fmtNs(r.cand_median) : "-",
+                  r.ratio > 0 ? fmt(r.ratio, 3) : "-",
+                  r.base_median > 0
+                      ? "[" + fmtNs(r.base_q1) + ", " + fmtNs(r.base_q3) + "]"
+                      : "-",
+                  verdict});
+    }
+    return t;
+}
+
+DiffReport diffBench(const std::vector<BenchPoint>& baseline,
+                     const std::vector<BenchPoint>& candidate,
+                     const DiffOptions& opts) {
+    DiffReport rep;
+    rep.opts = opts;
+
+    std::map<PointKey, const BenchPoint*> cand_by_key;
+    for (const BenchPoint& p : candidate) cand_by_key[keyOf(p)] = &p;
+    std::map<PointKey, bool> matched;
+
+    for (const BenchPoint& base : baseline) {
+        DiffRow row;
+        row.payload_schema = base.payload_schema;
+        row.name = base.name;
+        row.threads = base.threads;
+        row.base_median = base.real_time.median;
+        row.base_q1 = base.real_time.q1;
+        row.base_q3 = base.real_time.q3;
+
+        const auto it = cand_by_key.find(keyOf(base));
+        if (it == cand_by_key.end()) {
+            row.verdict = Verdict::Missing;
+            rep.rows.push_back(std::move(row));
+            continue;
+        }
+        matched[keyOf(base)] = true;
+        const BenchPoint& cand = *it->second;
+        row.cand_median = cand.real_time.median;
+        if (base.real_time.median > 0)
+            row.ratio = cand.real_time.median / base.real_time.median;
+
+        // A single-sample baseline (e.g. one flow-stage execution) carries
+        // no spread information, so the IQR test degenerates to the bare
+        // ratio. Compensate: such entries need 10x the time floor to
+        // participate at all, and a wider margin (scheduler jitter on a
+        // one-shot measurement routinely exceeds 10%).
+        const bool single = base.real_time.reps < 2;
+        const double floor_ns = single ? 10.0 * opts.min_time_ns : opts.min_time_ns;
+        const double margin = single ? std::max(opts.ratio, kSingleRepMargin)
+                                     : opts.ratio;
+        if (base.real_time.median < floor_ns) {
+            row.verdict = Verdict::Skipped;
+        } else if (row.cand_median > base.real_time.q3 &&
+                   row.ratio > 1.0 + margin) {
+            row.verdict = Verdict::Regression;
+        } else if (row.cand_median < base.real_time.q1 &&
+                   row.ratio > 0 && row.ratio < 1.0 - margin) {
+            row.verdict = Verdict::Improvement;
+        } else {
+            row.verdict = Verdict::Ok;
+        }
+        row.hard_fail = opts.fail_above > 0 && row.verdict != Verdict::Skipped &&
+                        row.ratio > opts.fail_above;
+        rep.rows.push_back(std::move(row));
+    }
+
+    for (const BenchPoint& cand : candidate) {
+        if (matched.count(keyOf(cand))) continue;
+        DiffRow row;
+        row.payload_schema = cand.payload_schema;
+        row.name = cand.name;
+        row.threads = cand.threads;
+        row.cand_median = cand.real_time.median;
+        row.verdict = Verdict::New;
+        rep.rows.push_back(std::move(row));
+    }
+    return rep;
+}
+
+} // namespace flh::obs

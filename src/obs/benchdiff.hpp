@@ -1,0 +1,107 @@
+// Run-over-run benchmark comparison: the analysis half of the perf gate.
+//
+// loadBenchDir() collects every envelope-format BENCH_*.json under a
+// directory into flat BenchPoints; diffBench() matches baseline against
+// candidate by (payload_schema, name, threads) and classifies each pair
+// with noise-aware thresholds: a candidate median is a regression only
+// when it leaves the baseline's inter-quartile range AND exceeds the
+// baseline median by a configurable ratio (default 10%) — so run-to-run
+// jitter inside the measured spread never fires the gate. Sub-`min_time`
+// baselines are skipped outright (timer noise dominates micro-entries).
+// Single-rep baselines (one flow-stage execution) have no spread at all,
+// so they participate only above 10x the time floor and with a widened
+// 25% margin.
+// An optional `fail_above` ratio marks catastrophic slowdowns as hard
+// failures that survive even --warn-only CI modes.
+//
+// flh_benchdiff (examples/) is the CLI: human table to stdout, machine
+// BENCH_diff.json (schema flh.bench.diff/1), exit 1 on regression.
+#pragma once
+
+#include "obs/benchio.hpp"
+#include "util/table.hpp"
+
+#include <string>
+#include <vector>
+
+namespace flh {
+class JsonWriter;
+} // namespace flh
+
+namespace flh::obs {
+
+/// One benchmark's statistics, flattened out of an envelope file.
+struct BenchPoint {
+    std::string payload_schema;
+    std::string name;
+    unsigned threads = 0;
+    RepStats real_time; ///< ns
+    double ips_median = 0.0;
+    std::string file;     ///< envelope the point came from
+    std::string git_sha;  ///< provenance of that envelope
+    std::string build_type;
+};
+
+/// Parse every envelope-schema *.json directly under `dir` (files that are
+/// not bench envelopes are skipped with a stderr note). Throws
+/// std::runtime_error if `dir` is not a readable directory.
+[[nodiscard]] std::vector<BenchPoint> loadBenchDir(const std::string& dir);
+
+enum class Verdict { Ok, Regression, Improvement, New, Missing, Skipped };
+[[nodiscard]] const char* verdictName(Verdict v);
+
+struct DiffOptions {
+    /// Ratio the candidate median must exceed the baseline median by —
+    /// in addition to leaving the baseline IQR — to count as a
+    /// regression (and symmetrically for improvements).
+    double ratio = 0.10;
+    /// Hard-failure ratio (candidate/baseline median); 0 disables. Hard
+    /// failures are reported separately so CI can warn on `ratio` but
+    /// still fail the build on, say, 2x slowdowns.
+    double fail_above = 0.0;
+    /// Baselines with a median below this many ns are Skipped — timer
+    /// noise dominates and any ratio would be meaningless. Single-rep
+    /// baselines use 10x this floor and at least a 25% margin in place
+    /// of `ratio` (they carry no IQR to separate jitter from signal).
+    double min_time_ns = 50e3;
+};
+
+struct DiffRow {
+    std::string payload_schema;
+    std::string name;
+    unsigned threads = 0;
+    double base_median = 0.0;
+    double cand_median = 0.0;
+    double ratio = 0.0; ///< cand/base (0 when either side is absent)
+    double base_q1 = 0.0;
+    double base_q3 = 0.0;
+    Verdict verdict = Verdict::Ok;
+    bool hard_fail = false;
+
+    void writeJson(JsonWriter& w) const;
+};
+
+struct DiffReport {
+    DiffOptions opts;
+    std::vector<DiffRow> rows; ///< baseline order, then candidate-only rows
+
+    [[nodiscard]] std::size_t count(Verdict v) const;
+    [[nodiscard]] std::size_t regressions() const { return count(Verdict::Regression); }
+    [[nodiscard]] std::size_t improvements() const { return count(Verdict::Improvement); }
+    [[nodiscard]] std::size_t added() const { return count(Verdict::New); }
+    [[nodiscard]] std::size_t missing() const { return count(Verdict::Missing); }
+    [[nodiscard]] bool hardFailures() const;
+
+    /// Machine report (schema flh.bench.diff/1, provenance of the diffing
+    /// run included). Ends with a newline.
+    [[nodiscard]] std::string json() const;
+
+    /// Console comparison table.
+    [[nodiscard]] TextTable table() const;
+};
+
+[[nodiscard]] DiffReport diffBench(const std::vector<BenchPoint>& baseline,
+                                   const std::vector<BenchPoint>& candidate,
+                                   const DiffOptions& opts = {});
+
+} // namespace flh::obs

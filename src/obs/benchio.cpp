@@ -1,0 +1,155 @@
+#include "obs/benchio.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace flh::obs {
+
+namespace {
+
+/// Median of sorted[lo, hi) — the halves-method building block.
+double medianOf(const std::vector<double>& sorted, std::size_t lo, std::size_t hi) {
+    const std::size_t n = hi - lo;
+    if (n == 0) return 0.0;
+    const std::size_t mid = lo + n / 2;
+    return (n % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+} // namespace
+
+RepStats RepStats::of(std::vector<double> samples) {
+    RepStats s;
+    s.reps = static_cast<int>(samples.size());
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.min = samples.front();
+    s.max = samples.back();
+    const std::size_t n = samples.size();
+    s.median = medianOf(samples, 0, n);
+    if (n == 1) {
+        s.q1 = s.q3 = s.median;
+    } else {
+        // Lower/upper halves exclude the middle element for odd n.
+        s.q1 = medianOf(samples, 0, n / 2);
+        s.q3 = medianOf(samples, (n + 1) / 2, n);
+    }
+    return s;
+}
+
+void BenchEntry::writeJson(JsonWriter& w) const {
+    const RepStats time = RepStats::of(time_samples);
+    w.beginObject();
+    w.kv("name", name);
+    w.kv("threads", static_cast<std::uint64_t>(threads));
+    w.kv("reps", static_cast<std::int64_t>(time.reps));
+    w.kv("warmup", static_cast<std::int64_t>(warmup));
+    w.key("real_time_ns");
+    w.beginObject();
+    w.kv("median", time.median);
+    w.kv("min", time.min);
+    w.kv("max", time.max);
+    w.kv("q1", time.q1);
+    w.kv("q3", time.q3);
+    w.endObject();
+    if (!ips_samples.empty()) {
+        const RepStats ips = RepStats::of(ips_samples);
+        w.key("items_per_second");
+        w.beginObject();
+        w.kv("median", ips.median);
+        w.kv("min", ips.min);
+        w.kv("max", ips.max);
+        w.kv("q1", ips.q1);
+        w.kv("q3", ips.q3);
+        w.endObject();
+    }
+    w.key("time_samples");
+    w.beginArray();
+    for (const double v : time_samples) w.value(v);
+    w.endArray();
+    if (!ips_samples.empty()) {
+        w.key("ips_samples");
+        w.beginArray();
+        for (const double v : ips_samples) w.value(v);
+        w.endArray();
+    }
+    w.endObject();
+}
+
+BenchWriter::BenchWriter(std::string payload_schema, unsigned resolved_threads)
+    : payload_schema_(std::move(payload_schema)),
+      prov_(RunProvenance::collect(resolved_threads)) {}
+
+void BenchWriter::setResults(std::string legacy_json) {
+    while (!legacy_json.empty() &&
+           (legacy_json.back() == '\n' || legacy_json.back() == '\r' ||
+            legacy_json.back() == ' '))
+        legacy_json.pop_back();
+    results_ = std::move(legacy_json);
+}
+
+std::string BenchWriter::json() const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", kBenchEnvelopeSchema);
+    w.kv("payload_schema", payload_schema_);
+    w.key("provenance");
+    prov_.writeJson(w);
+    w.key("benchmarks");
+    w.beginArray();
+    for (const BenchEntry& e : entries_) e.writeJson(w);
+    w.endArray();
+    if (!results_.empty()) {
+        w.key("results");
+        w.rawValue(results_);
+    }
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string BenchWriter::writeFile(const std::string& filename,
+                                   const std::string& out_flag) const {
+    const std::string path = benchOutPath(filename, out_flag);
+    const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << json();
+    if (!out) {
+        std::cerr << "failed to write " << path << "\n";
+        return "";
+    }
+    std::cerr << "wrote " << path << " (" << entries_.size() << " benchmarks)\n";
+    return path;
+}
+
+std::string benchOutDir(const std::string& out_flag) {
+    if (!out_flag.empty()) return out_flag;
+    if (const char* env = std::getenv("FLH_BENCH_OUT"); env != nullptr && *env != '\0')
+        return env;
+    return ".";
+}
+
+std::string benchOutPath(const std::string& filename, const std::string& out_flag) {
+    if (!std::filesystem::path(filename).parent_path().empty()) return filename;
+    const std::string dir = benchOutDir(out_flag);
+    if (dir == ".") return filename;
+    return (std::filesystem::path(dir) / filename).string();
+}
+
+std::string parseBenchOutFlag(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view a = argv[i];
+        if (a == "--out" && i + 1 < argc) return argv[i + 1];
+        if (a.rfind("--out=", 0) == 0) return std::string(a.substr(6));
+    }
+    return "";
+}
+
+} // namespace flh::obs

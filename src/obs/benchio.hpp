@@ -1,0 +1,109 @@
+// Bench envelope IO: the one format every BENCH_*.json export converges on.
+//
+// Before this layer each bench binary hand-rolled its own top-level JSON
+// (different schemas, no provenance, single wall-clock samples) and wrote
+// into the CWD unconditionally. BenchWriter fixes all three at once:
+//
+//   {
+//     "schema": "flh.bench.envelope/1",
+//     "payload_schema": "<the binary's legacy schema id>",
+//     "provenance": { git sha, dirty, build type, compiler, host, ... },
+//     "benchmarks": [ { name, threads, reps, warmup, order statistics
+//                       (median/min/max/q1/q3) over the measured samples,
+//                       plus the raw samples } ],
+//     "results": <the binary's legacy payload, verbatim>
+//   }
+//
+// flh_benchdiff consumes the "benchmarks" list; anything that only ever
+// read the legacy payload keeps working through "results". Output paths
+// resolve through benchOutDir(): an explicit --out flag wins, then the
+// FLH_BENCH_OUT environment variable, then the current directory — so CI
+// collects artifacts from a clean directory without per-binary plumbing.
+#pragma once
+
+#include "obs/provenance.hpp"
+
+#include <string>
+#include <vector>
+
+namespace flh {
+class JsonWriter;
+} // namespace flh
+
+namespace flh::obs {
+
+inline constexpr const char* kBenchEnvelopeSchema = "flh.bench.envelope/1";
+
+/// Order statistics over a sample set. Quartiles use the halves method:
+/// q1/q3 are medians of the lower/upper half (median excluded for odd n),
+/// so for {10,20,30,40,50}: median 30, q1 15, q3 45. With n == 1 every
+/// statistic collapses to the single sample and the IQR is 0.
+struct RepStats {
+    int reps = 0;
+    double median = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double q1 = 0.0;
+    double q3 = 0.0;
+
+    [[nodiscard]] static RepStats of(std::vector<double> samples);
+    [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+/// One benchmark's repetition record inside an envelope. `time_samples`
+/// are post-warmup real times (ns); `ips_samples` (items/sec, optional)
+/// parallel them. Matching key for diffs: (payload_schema, name, threads).
+struct BenchEntry {
+    std::string name;
+    unsigned threads = 0; ///< requested worker knob (0 = per-hardware-thread)
+    int warmup = 0;       ///< reps dropped before the recorded samples
+    std::vector<double> time_samples;
+    std::vector<double> ips_samples;
+
+    void writeJson(JsonWriter& w) const;
+};
+
+/// Assembles and writes one envelope document.
+class BenchWriter {
+public:
+    /// `payload_schema` is the binary's legacy schema id (kept as the
+    /// diff matching key); `resolved_threads` lands in provenance.
+    explicit BenchWriter(std::string payload_schema, unsigned resolved_threads = 0);
+
+    void add(BenchEntry e) { entries_.push_back(std::move(e)); }
+
+    /// Nest the legacy export verbatim under "results". Pass the complete
+    /// legacy document (trailing newline tolerated).
+    void setResults(std::string legacy_json);
+
+    [[nodiscard]] const RunProvenance& provenance() const noexcept { return prov_; }
+    [[nodiscard]] const std::vector<BenchEntry>& entries() const noexcept { return entries_; }
+
+    /// The full envelope document (trailing newline included).
+    [[nodiscard]] std::string json() const;
+
+    /// Write under benchOutDir(out_flag)/filename (directories created on
+    /// demand), logging the outcome to stderr in the established "wrote
+    /// PATH" style. Returns the resolved path, or "" on failure.
+    std::string writeFile(const std::string& filename, const std::string& out_flag = "") const;
+
+private:
+    std::string payload_schema_;
+    RunProvenance prov_;
+    std::vector<BenchEntry> entries_;
+    std::string results_;
+};
+
+/// Bench output directory: `out_flag` (--out) > FLH_BENCH_OUT > ".".
+[[nodiscard]] std::string benchOutDir(const std::string& out_flag = "");
+
+/// `filename` resolved against benchOutDir — unless it already carries a
+/// directory component, which is honored as-is (explicit paths win).
+[[nodiscard]] std::string benchOutPath(const std::string& filename,
+                                       const std::string& out_flag = "");
+
+/// Extract the shared `--out DIR` / `--out=DIR` bench flag from argv
+/// (empty string when absent). Leaves argv untouched.
+[[nodiscard]] std::string parseBenchOutFlag(int argc, char** argv);
+
+} // namespace flh::obs

@@ -1,0 +1,64 @@
+#include "obs/provenance.hpp"
+
+#include "flh_build_info.hpp"
+#include "util/exec_policy.hpp"
+#include "util/json.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace flh::obs {
+
+RunProvenance RunProvenance::collect(unsigned resolved_threads) {
+    RunProvenance p;
+    p.git_sha = FLH_BUILD_GIT_SHA;
+    p.git_dirty = FLH_BUILD_GIT_DIRTY != 0;
+    p.build_type = FLH_BUILD_TYPE;
+    p.compiler = FLH_BUILD_COMPILER;
+
+#if defined(__unix__) || defined(__APPLE__)
+    char host[256] = {};
+    if (::gethostname(host, sizeof host - 1) == 0) p.hostname = host;
+#endif
+    if (p.hostname.empty()) {
+        const char* env = std::getenv("HOSTNAME");
+        p.hostname = env != nullptr ? env : "unknown";
+    }
+
+    p.hw_concurrency = ExecPolicy::hardwareThreads();
+    p.threads = resolved_threads;
+
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32] = {};
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    p.timestamp_utc = buf;
+    return p;
+}
+
+void RunProvenance::writeJson(JsonWriter& w) const {
+    w.beginObject();
+    w.kv("schema", "flh.provenance/1");
+    w.kv("git_sha", git_sha);
+    w.kv("git_dirty", git_dirty);
+    w.kv("build_type", build_type);
+    w.kv("compiler", compiler);
+    w.kv("hostname", hostname);
+    w.kv("hw_concurrency", static_cast<std::uint64_t>(hw_concurrency));
+    w.kv("threads", static_cast<std::uint64_t>(threads));
+    w.kv("timestamp_utc", timestamp_utc);
+    w.endObject();
+}
+
+} // namespace flh::obs

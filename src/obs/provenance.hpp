@@ -1,0 +1,41 @@
+// Run provenance: the "who/where/when" header every benchmark export
+// carries so a number can be trusted (or discarded) later. A faults/sec
+// figure without the git sha, build type, and host that produced it is
+// noise in a trend line; with them, flh_benchdiff can refuse to compare
+// Debug against Release or flag a dirty-tree measurement.
+//
+// Build identity (sha, dirty flag, build type, compiler) is baked in at
+// CMake configure time (src/obs/build_info.hpp.in); host identity
+// (hostname, hardware threads) and the UTC timestamp are read at run
+// time. Provenance is deliberately non-deterministic — it lives only in
+// bench/telemetry exports, never in flow reports or cache keys.
+#pragma once
+
+#include <string>
+
+namespace flh {
+class JsonWriter;
+} // namespace flh
+
+namespace flh::obs {
+
+struct RunProvenance {
+    std::string git_sha;    ///< full sha, or "unknown" outside a git tree
+    bool git_dirty = false; ///< uncommitted tracked changes at configure
+    std::string build_type; ///< CMAKE_BUILD_TYPE ("Release", ...)
+    std::string compiler;   ///< "GNU 13.2.0"-style id + version
+    std::string hostname;
+    unsigned hw_concurrency = 0; ///< ExecPolicy::hardwareThreads()
+    unsigned threads = 0;        ///< resolved worker count (0 = not applicable)
+    std::string timestamp_utc;   ///< ISO-8601 "2026-08-07T12:34:56Z"
+
+    /// Snapshot the current process/build. `resolved_threads` is the
+    /// ExecPolicy-resolved worker count of the run being described.
+    [[nodiscard]] static RunProvenance collect(unsigned resolved_threads = 0);
+
+    /// Emits one object (schema flh.provenance/1) — the shared
+    /// writeJson(JsonWriter&) convention (util/json.hpp).
+    void writeJson(JsonWriter& w) const;
+};
+
+} // namespace flh::obs

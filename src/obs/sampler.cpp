@@ -1,0 +1,230 @@
+#include "obs/sampler.hpp"
+
+#include "obs/telemetry.hpp"
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace flh::obs {
+
+std::uint64_t processRssBytes() {
+#if defined(__linux__)
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t total = 0;
+    std::uint64_t rss_pages = 0;
+    if (statm >> total >> rss_pages) {
+        const long page = ::sysconf(_SC_PAGESIZE);
+        return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+    }
+#endif
+    return 0;
+}
+
+unsigned processThreadCount() {
+#if defined(__linux__)
+    std::error_code ec;
+    std::filesystem::directory_iterator it("/proc/self/task", ec);
+    if (!ec) {
+        unsigned n = 0;
+        for (const auto& entry : it) {
+            (void)entry;
+            ++n;
+        }
+        return n;
+    }
+#endif
+    return 0;
+}
+
+namespace {
+
+/// "1.23M"-style humanized rate for the heartbeat line.
+std::string fmtRate(double v) {
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+}
+
+double valueOr0(const MetricsSample& s, const std::string& name) {
+    const auto it = s.values.find(name);
+    return it == s.values.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+Sampler::Sampler(SamplerOptions opts) : opts_(std::move(opts)) {
+    if (opts_.period_ms == 0) opts_.period_ms = 1;
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    start_us_ = nowUs();
+    last_heartbeat_us_ = start_us_;
+    hb_prev_ = MetricsSample{};
+    hb_prev_.ts_us = start_us_;
+    thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!running_) return;
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::unique_lock<std::mutex> lock(mu_);
+    running_ = false;
+}
+
+void Sampler::run() {
+    setThreadLabel("obs-sampler");
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_requested_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(opts_.period_ms),
+                     [this] { return stop_requested_; });
+        if (stop_requested_) break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+    lock.unlock();
+    // Final sample so the series closes on the run's last counter values.
+    sampleOnce();
+}
+
+void Sampler::sampleOnce() {
+    MetricsSample s;
+    s.ts_us = nowUs();
+    s.rss_bytes = processRssBytes();
+    s.threads = processThreadCount();
+    for (const MetricSnapshot& m : snapshotCounters()) s.values[m.name] = m.value;
+    for (const MetricSnapshot& m : snapshotGauges()) s.values[m.name] = m.value;
+
+    if (opts_.trace_events) {
+        for (const auto& [name, value] : s.values) recordCounterSample(name, value);
+        recordCounterSample("process.rss_mb",
+                            static_cast<double>(s.rss_bytes) / 1e6);
+        recordCounterSample("process.threads", static_cast<double>(s.threads));
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    maybeHeartbeat(s);
+    samples_.push_back(std::move(s));
+}
+
+void Sampler::maybeHeartbeat(const MetricsSample& s) {
+    if (opts_.heartbeat_every_s <= 0.0) return;
+    if (s.ts_us - last_heartbeat_us_ < opts_.heartbeat_every_s * 1e6) return;
+
+    const double dt_s = std::max((s.ts_us - hb_prev_.ts_us) / 1e6, 1e-9);
+    char head[96];
+    std::snprintf(head, sizeof head, "[flh] t=%.1fs rss=%.1fMB threads=%u",
+                  (s.ts_us - start_us_) / 1e6,
+                  static_cast<double>(s.rss_bytes) / 1e6, s.threads);
+    std::string line = head;
+
+    const double graded = valueOr0(s, "fault_sim.faults_graded");
+    const double d_graded = graded - valueOr0(hb_prev_, "fault_sim.faults_graded");
+    if (d_graded > 0) line += " faults/s=" + fmtRate(d_graded / dt_s);
+
+    const double hits = valueOr0(s, "flow.cache_hits");
+    const double misses = valueOr0(s, "flow.cache_misses");
+    if (hits + misses > 0) {
+        char pct[32];
+        std::snprintf(pct, sizeof pct, " cache-hit=%.1f%%",
+                      100.0 * hits / (hits + misses));
+        line += pct;
+    }
+
+    const double checks = valueOr0(s, "verify.fuzz.checks");
+    const double d_checks = checks - valueOr0(hb_prev_, "verify.fuzz.checks");
+    if (d_checks > 0) line += " checks/s=" + fmtRate(d_checks / dt_s);
+
+    std::ostream& out = opts_.heartbeat_out != nullptr ? *opts_.heartbeat_out : std::cerr;
+    out << line << "\n";
+    ++heartbeats_;
+    last_heartbeat_us_ = s.ts_us;
+    hb_prev_ = s;
+}
+
+bool Sampler::running() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return running_;
+}
+
+std::size_t Sampler::sampleCount() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return samples_.size();
+}
+
+std::size_t Sampler::heartbeatCount() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return heartbeats_;
+}
+
+std::vector<MetricsSample> Sampler::samples() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return samples_;
+}
+
+std::string Sampler::timeseriesJson() const {
+    std::unique_lock<std::mutex> lock(mu_);
+
+    // Column union: the registry can grow while sampling, so early samples
+    // may miss late-registered metrics (they export as 0).
+    std::set<std::string> names;
+    for (const MetricsSample& s : samples_)
+        for (const auto& [name, value] : s.values) names.insert(name);
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.obs.timeseries/1");
+    w.kv("period_ms", static_cast<std::uint64_t>(opts_.period_ms));
+    w.kv("samples", samples_.size());
+    w.key("columns");
+    w.beginArray();
+    w.value("ts_us");
+    w.value("rss_bytes");
+    w.value("threads");
+    for (const std::string& n : names) w.value(n);
+    w.endArray();
+    w.key("rows");
+    w.beginArray();
+    for (const MetricsSample& s : samples_) {
+        w.beginArray();
+        w.value(s.ts_us);
+        w.value(s.rss_bytes);
+        w.value(static_cast<std::uint64_t>(s.threads));
+        for (const std::string& n : names) {
+            const auto it = s.values.find(n);
+            w.value(it == s.values.end() ? 0.0 : it->second);
+        }
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+} // namespace flh::obs

@@ -1,0 +1,95 @@
+// Metrics time-series sampler: an opt-in background thread that turns the
+// telemetry registry's point-in-time counters into curves.
+//
+// Every `period_ms` the sampler snapshots all registered counters and
+// gauges plus process RSS and thread count, keeps the sample in memory
+// (timeseriesJson() export), and — when telemetry is enabled — records
+// one Chrome-trace counter ("C") event per metric onto its own lane, so
+// throughput-over-time shows up directly inside the existing trace
+// alongside the span lanes. An optional rate-limited heartbeat prints a
+// one-line progress summary (elapsed, RSS, faults/sec, cache hit rate,
+// checks/sec) to stderr for long fault-sim and fuzz runs.
+//
+// The sampler never touches hot paths: it only reads the same atomics the
+// exporters read, on its own thread, at human cadence. Like every obs
+// export it lives strictly on the non-deterministic side.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace flh::obs {
+
+/// Resident set size of the calling process in bytes (0 if unknowable on
+/// this platform).
+[[nodiscard]] std::uint64_t processRssBytes();
+
+/// Live thread count of the calling process (0 if unknowable).
+[[nodiscard]] unsigned processThreadCount();
+
+struct SamplerOptions {
+    unsigned period_ms = 200;       ///< snapshot cadence
+    double heartbeat_every_s = 0.0; ///< 0 disables the stderr heartbeat
+    std::ostream* heartbeat_out = nullptr; ///< nullptr = std::cerr
+    bool trace_events = true; ///< also record "C" events onto the trace
+};
+
+/// One snapshot: timestamp, process stats, and every registered metric.
+struct MetricsSample {
+    double ts_us = 0.0;
+    std::uint64_t rss_bytes = 0;
+    unsigned threads = 0;
+    std::map<std::string, double> values; ///< counters + gauges by name
+};
+
+class Sampler {
+public:
+    explicit Sampler(SamplerOptions opts = {});
+    ~Sampler(); ///< stops (joins) if still running
+
+    Sampler(const Sampler&) = delete;
+    Sampler& operator=(const Sampler&) = delete;
+
+    /// Launch the background thread. No-op if already running.
+    void start();
+
+    /// Stop and join; the thread takes one final sample on the way out, so
+    /// the series always ends with the run's closing counter values.
+    void stop();
+
+    [[nodiscard]] bool running() const;
+    [[nodiscard]] std::size_t sampleCount() const;
+    [[nodiscard]] std::size_t heartbeatCount() const;
+    [[nodiscard]] std::vector<MetricsSample> samples() const;
+
+    /// Column-oriented export (schema flh.obs.timeseries/1): fixed columns
+    /// ts_us / rss_bytes / threads followed by the sorted union of metric
+    /// names; metrics not yet registered at a sample's time read as 0.
+    /// Ends with a newline.
+    [[nodiscard]] std::string timeseriesJson() const;
+
+private:
+    void run();
+    void sampleOnce();
+    void maybeHeartbeat(const MetricsSample& s);
+
+    SamplerOptions opts_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stop_requested_ = false;
+    std::vector<MetricsSample> samples_;
+    std::size_t heartbeats_ = 0;
+    double start_us_ = 0.0;
+    double last_heartbeat_us_ = 0.0;
+    MetricsSample hb_prev_; ///< baseline for heartbeat rate deltas
+};
+
+} // namespace flh::obs

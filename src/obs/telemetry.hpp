@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #ifndef FLH_OBS_COMPILED_IN
 #define FLH_OBS_COMPILED_IN 1
@@ -108,6 +109,24 @@ private:
 [[nodiscard]] Counter& counter(std::string_view name);
 [[nodiscard]] Gauge& gauge(std::string_view name);
 
+/// One registered metric's current value, snapshotted by name. The export
+/// and sampler paths read these; hot paths never do.
+struct MetricSnapshot {
+    std::string name;
+    double value = 0.0;
+};
+
+/// Snapshot every registered counter / gauge (current value, not peak),
+/// sorted by name. Slow path — takes the registry lock.
+[[nodiscard]] std::vector<MetricSnapshot> snapshotCounters();
+[[nodiscard]] std::vector<MetricSnapshot> snapshotGauges();
+
+/// Append a Chrome-trace counter sample ("C" phase) to the calling
+/// thread's lane: traceJson() renders these as a value-over-time track
+/// (category "obs.sample"), which is how the sampler draws throughput
+/// curves inside the existing trace. No-op while disabled.
+void recordCounterSample(std::string name, double value);
+
 /// Label the calling thread's trace lane ("flow-worker-2"). Unlabeled
 /// lanes export as "thread-<lane>". No-op while disabled.
 void setThreadLabel(std::string label);
@@ -136,16 +155,18 @@ private:
 /// Microseconds since the process-wide telemetry epoch (first use).
 [[nodiscard]] double nowUs() noexcept;
 
-/// Number of span events currently recorded across all lanes.
+/// Number of span ("X") events currently recorded across all lanes
+/// (counter samples are excluded).
 [[nodiscard]] std::size_t spanCount();
 
-/// Number of lanes (threads) that recorded at least one span or label.
+/// Number of lanes (threads) that recorded at least one event or label.
 [[nodiscard]] std::size_t laneCount();
 
 /// Chrome trace_event export: {"traceEvents":[...]} with one "M"
-/// thread_name metadata record per lane and one complete ("X") event per
-/// span, pid 1, tid = lane id (registration order, main-ish first).
-/// Ends with a newline.
+/// thread_name metadata record per lane, one complete ("X") event per
+/// span, and one counter ("C") event per recorded sample, pid 1,
+/// tid = lane id (registration order, main-ish first). Ends with a
+/// newline.
 [[nodiscard]] std::string traceJson();
 
 /// Flat metrics export (schema flh.obs.metrics/1): counters and gauges

@@ -1,8 +1,10 @@
 #include "util/json.hpp"
 
 #include <cassert>
+#include <cctype>
 #include <charconv>
 #include <cmath>
+#include <stdexcept>
 
 namespace flh {
 
@@ -118,5 +120,184 @@ void JsonWriter::value(bool v) {
     beforeValue();
     out_ += v ? "true" : "false";
 }
+
+void JsonWriter::rawValue(std::string_view json) {
+    beforeValue();
+    out_ += json;
+}
+
+const JsonValue& JsonValue::at(const std::string& k) const {
+    const auto it = obj.find(k);
+    if (it == obj.end()) throw std::runtime_error("json: missing key: " + k);
+    return it->second;
+}
+
+namespace {
+
+/// Recursive-descent reader over the subset our writer emits (which is
+/// plain JSON, so arbitrary conforming documents parse too).
+class JsonReader {
+public:
+    explicit JsonReader(std::string_view text) : s_(text) {}
+
+    JsonValue parseDocument() {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing bytes after document");
+        return v;
+    }
+
+private:
+    std::string_view s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error("json parse error at byte " + std::to_string(pos_) +
+                                 ": " + why);
+    }
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+    char peek() {
+        if (pos_ >= s_.size()) fail("unexpected end");
+        return s_[pos_];
+    }
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+    bool consume(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue() {
+        skipWs();
+        const char c = peek();
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Str;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') return parseLiteralBool();
+        if (c == 'n') {
+            parseLiteral("null");
+            return JsonValue{};
+        }
+        return parseNumber();
+    }
+
+    void parseLiteral(std::string_view lit) {
+        if (s_.substr(pos_, lit.size()) != lit) fail("bad literal");
+        pos_ += lit.size();
+    }
+    JsonValue parseLiteralBool() {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.b = true;
+        } else {
+            parseLiteral("false");
+        }
+        return v;
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') break;
+            if (c == '\\') {
+                if (pos_ >= s_.size()) fail("unterminated escape");
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    // Our writer only \u-escapes control bytes; keep raw hex.
+                    out += "\\u";
+                    out += s_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                }
+                default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue parseNumber() {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Num;
+        v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    JsonValue parseArray() {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Arr;
+        skipWs();
+        if (consume(']')) return v;
+        while (true) {
+            v.arr.push_back(parseValue());
+            skipWs();
+            if (consume(']')) break;
+            expect(',');
+        }
+        return v;
+    }
+
+    JsonValue parseObject() {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Obj;
+        skipWs();
+        if (consume('}')) return v;
+        while (true) {
+            skipWs();
+            std::string k = parseString();
+            skipWs();
+            expect(':');
+            v.obj.emplace(std::move(k), parseValue());
+            skipWs();
+            if (consume('}')) break;
+            expect(',');
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+JsonValue parseJson(std::string_view text) { return JsonReader(text).parseDocument(); }
 
 } // namespace flh

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +54,12 @@ public:
         value(v);
     }
 
+    /// Splice pre-rendered JSON as one value at the current position. The
+    /// caller guarantees `json` is a complete, valid JSON value; it is
+    /// inserted verbatim (its own indentation intact), which keeps nested
+    /// legacy payloads byte-stable inside envelope documents.
+    void rawValue(std::string_view json);
+
     [[nodiscard]] const std::string& str() const noexcept { return out_; }
 
 private:
@@ -82,5 +89,27 @@ template <JsonWritable T> [[nodiscard]] std::string toJsonDocument(const T& v) {
     v.writeJson(w);
     return w.str() + "\n";
 }
+
+/// Parsed JSON value — the read side of the writer above. Deliberately
+/// small: enough to load our own exports back (bench envelopes, telemetry
+/// traces, diff reports) without an external dependency. Numbers are
+/// doubles; \u escapes beyond control bytes are kept as raw "\uXXXX" text
+/// (our writer only emits them for control characters).
+struct JsonValue {
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    /// Object member access; throws std::runtime_error on a missing key.
+    [[nodiscard]] const JsonValue& at(const std::string& k) const;
+    [[nodiscard]] bool has(const std::string& k) const { return obj.count(k) > 0; }
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parseJson(std::string_view text);
 
 } // namespace flh

@@ -1,208 +1,23 @@
 // Telemetry subsystem: span nesting and thread-lane attribution, counter
 // aggregation across worker threads, gauge high-water tracking, Chrome
-// trace_event export (parsed back by a mini JSON reader), metrics export
-// structure, and the determinism firewall — flow_report.json must be
-// byte-identical with telemetry on vs. off.
+// trace_event export (parsed back through util/json.hpp's parseJson),
+// metrics export structure, and the determinism firewall — flow_report.json
+// must be byte-identical with telemetry on vs. off.
 #include "obs/telemetry.hpp"
 
 #include "flow/engine.hpp"
+#include "util/json.hpp"
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <map>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace flh {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Mini JSON reader: just enough to parse our own exports back and prove
-// they are well-formed (objects, arrays, strings with escapes, numbers,
-// bools, null). Throws std::runtime_error on malformed input.
-
-struct JsonValue {
-    enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<JsonValue> arr;
-    std::map<std::string, JsonValue> obj;
-
-    [[nodiscard]] const JsonValue& at(const std::string& k) const {
-        const auto it = obj.find(k);
-        if (it == obj.end()) throw std::runtime_error("missing key: " + k);
-        return it->second;
-    }
-    [[nodiscard]] bool has(const std::string& k) const { return obj.count(k) > 0; }
-};
-
-class JsonReader {
-public:
-    explicit JsonReader(std::string_view text) : s_(text) {}
-
-    JsonValue parseDocument() {
-        JsonValue v = parseValue();
-        skipWs();
-        if (pos_ != s_.size()) fail("trailing bytes after document");
-        return v;
-    }
-
-private:
-    std::string_view s_;
-    std::size_t pos_ = 0;
-
-    [[noreturn]] void fail(const std::string& why) const {
-        throw std::runtime_error("json parse error at byte " + std::to_string(pos_) +
-                                 ": " + why);
-    }
-    void skipWs() {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-    char peek() {
-        if (pos_ >= s_.size()) fail("unexpected end");
-        return s_[pos_];
-    }
-    void expect(char c) {
-        if (peek() != c) fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-    bool consume(char c) {
-        if (pos_ < s_.size() && s_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue parseValue() {
-        skipWs();
-        const char c = peek();
-        if (c == '{') return parseObject();
-        if (c == '[') return parseArray();
-        if (c == '"') {
-            JsonValue v;
-            v.kind = JsonValue::Kind::Str;
-            v.str = parseString();
-            return v;
-        }
-        if (c == 't' || c == 'f') return parseLiteralBool();
-        if (c == 'n') {
-            parseLiteral("null");
-            return JsonValue{};
-        }
-        return parseNumber();
-    }
-
-    void parseLiteral(std::string_view lit) {
-        if (s_.substr(pos_, lit.size()) != lit) fail("bad literal");
-        pos_ += lit.size();
-    }
-    JsonValue parseLiteralBool() {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (peek() == 't') {
-            parseLiteral("true");
-            v.b = true;
-        } else {
-            parseLiteral("false");
-        }
-        return v;
-    }
-
-    std::string parseString() {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= s_.size()) fail("unterminated string");
-            const char c = s_[pos_++];
-            if (c == '"') break;
-            if (c == '\\') {
-                if (pos_ >= s_.size()) fail("unterminated escape");
-                const char e = s_[pos_++];
-                switch (e) {
-                case '"': out += '"'; break;
-                case '\\': out += '\\'; break;
-                case '/': out += '/'; break;
-                case 'b': out += '\b'; break;
-                case 'f': out += '\f'; break;
-                case 'n': out += '\n'; break;
-                case 'r': out += '\r'; break;
-                case 't': out += '\t'; break;
-                case 'u': {
-                    if (pos_ + 4 > s_.size()) fail("short \\u escape");
-                    // Exports only \u-escape control bytes; keep raw hex tail.
-                    out += "\\u";
-                    out += s_.substr(pos_, 4);
-                    pos_ += 4;
-                    break;
-                }
-                default: fail("bad escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        return out;
-    }
-
-    JsonValue parseNumber() {
-        const std::size_t start = pos_;
-        if (consume('-')) {
-        }
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start) fail("bad number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Num;
-        v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
-        return v;
-    }
-
-    JsonValue parseArray() {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Arr;
-        skipWs();
-        if (consume(']')) return v;
-        while (true) {
-            v.arr.push_back(parseValue());
-            skipWs();
-            if (consume(']')) break;
-            expect(',');
-        }
-        return v;
-    }
-
-    JsonValue parseObject() {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Obj;
-        skipWs();
-        if (consume('}')) return v;
-        while (true) {
-            skipWs();
-            std::string k = parseString();
-            skipWs();
-            expect(':');
-            v.obj.emplace(std::move(k), parseValue());
-            skipWs();
-            if (consume('}')) break;
-            expect(',');
-        }
-        return v;
-    }
-};
-
-JsonValue parseJson(const std::string& text) { return JsonReader(text).parseDocument(); }
 
 /// All "X" (complete) events from a parsed trace document.
 std::vector<JsonValue> completeEvents(const JsonValue& trace) {
