@@ -89,13 +89,19 @@ BENCHMARK(BM_StuckAtFaultSimThreads)
     ->Args({2, 0})
     ->Unit(benchmark::kMillisecond);
 
+std::vector<TwoPattern> makeTests(const Netlist& nl, std::size_t n, std::uint64_t s1,
+                                  std::uint64_t s2) {
+    const auto v1s = randomPatterns(nl, n, s1);
+    const auto v2s = randomPatterns(nl, n, s2);
+    std::vector<TwoPattern> tests;
+    tests.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) tests.push_back(TwoPattern{v1s[i], v2s[i]});
+    return tests;
+}
+
 void BM_TransitionFaultSimThreads(benchmark::State& state) {
     const Netlist& nl = circuitFor(state);
-    const auto v1s = randomPatterns(nl, 64, 7);
-    const auto v2s = randomPatterns(nl, 64, 8);
-    std::vector<TwoPattern> tests;
-    tests.reserve(v1s.size());
-    for (std::size_t i = 0; i < v1s.size(); ++i) tests.push_back(TwoPattern{v1s[i], v2s[i]});
+    const auto tests = makeTests(nl, 64, 7, 8);
     const auto faults = allTransitionFaults(nl);
     FaultSimOptions opts;
     opts.threads = static_cast<unsigned>(state.range(1));
@@ -112,6 +118,84 @@ BENCHMARK(BM_TransitionFaultSimThreads)
     ->Args({2, 1})
     ->Args({2, 0})
     ->Unit(benchmark::kMillisecond);
+
+// Word-packed PPSFP axis: range(1) is FaultSimOptions::words (0 = the
+// scalar PatternSim oracle). 512 tests so words=8 runs one full block and
+// the packed engine is not clamped; faults/sec appears as items_per_second
+// and the "/words:0" to "/words:W" ratio is the packing speedup.
+void BM_TransitionFaultSimWords(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto tests = makeTests(nl, 512, 7, 8);
+    const auto faults = allTransitionFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = 1;
+    opts.words = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runTransitionFaultSim(nl, tests, faults, opts).detected);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_TransitionFaultSimWords)
+    ->ArgNames({"circuit", "words"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({2, 0})
+    ->Args({2, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StuckAtFaultSimWords(benchmark::State& state) {
+    const Netlist& nl = circuitFor(state);
+    const auto pats = randomPatterns(nl, 512, 3);
+    const auto faults = collapsedStuckAtFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = 1;
+    opts.words = static_cast<unsigned>(state.range(1));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runStuckAtFaultSim(nl, pats, faults, opts).detected);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_StuckAtFaultSimWords)
+    ->ArgNames({"circuit", "words"})
+    ->Args({1, 0})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// A/B pin for flh_benchdiff, which matches rows by (schema, name, threads):
+// the packed width comes from FLH_SIM_WORDS (default 8, 0 = the scalar
+// oracle), so a baseline run with FLH_SIM_WORDS=0 and a candidate run with
+// FLH_SIM_WORDS=8 share the row name and their faults/sec ratio is exactly
+// the packed-engine speedup on this machine.
+//
+// The pinned workload is the n-detect grading profile
+// (countTransitionDetections): with detection counting there is no fault
+// dropping, so every fault is graded against every block and the full
+// words*64-pattern width does real work per pass. This is the profile the
+// SDD-grading experiments consume. The detect-until-dropped variant — where
+// the scalar engine stops early on faults it detects in the first 64
+// patterns, so packing buys less — is tracked separately on the
+// BM_TransitionFaultSimWords axis.
+void BM_TransitionFaultSimPPSFP(benchmark::State& state) {
+    const Netlist& nl = scannedCircuit("s1423");
+    const auto tests = makeTests(nl, 512, 7, 8);
+    const auto faults = allTransitionFaults(nl);
+    FaultSimOptions opts;
+    opts.threads = 1;
+    opts.words = 8;
+    if (const char* env = std::getenv("FLH_SIM_WORDS"))
+        opts.words = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(countTransitionDetections(nl, tests, faults, opts).size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(faults.size()));
+    state.counters["words"] = static_cast<double>(opts.words);
+}
+BENCHMARK(BM_TransitionFaultSimPPSFP)->Unit(benchmark::kMillisecond);
 
 // Telemetry cost on the hottest kernel: range(0) toggles obs recording.
 // "/0" rows are the compiled-in-but-disabled baseline (the production

@@ -6,11 +6,12 @@
 //   flh_fuzz --check-corpus tests/corpus  # replay committed reproducers
 //
 // Every seed deterministically generates a random sequential circuit, scans
-// it, and cross-checks: a naive reference evaluator vs PatternSim,
-// SequentialSim::clock vs the nextState oracle, serial vs parallel fault
-// simulation at every --threads count (bitmaps and n-detect counts), and the
-// paper's Fig. 5b two-pattern protocol under enhanced scan / MUX-hold / FLH
-// vs direct evaluation. Any mismatch is greedily shrunk to a small .bench +
+// it, and cross-checks: a naive reference evaluator vs PatternSim, the
+// word-packed PackedSim at every --words width vs the same reference,
+// SequentialSim::clock vs the nextState oracle, the scalar serial engine vs
+// fault simulation at every --threads count x --words width (bitmaps and
+// n-detect counts), and the paper's Fig. 5b two-pattern protocol under
+// enhanced scan / MUX-hold / FLH vs direct evaluation. Any mismatch is greedily shrunk to a small .bench +
 // .pairs reproducer under --corpus and the run exits non-zero.
 //
 // In --inject-mutant mode the FLH variant is deliberately corrupted (one gate
@@ -47,6 +48,8 @@ constexpr const char* kUsage = R"(usage: flh_fuzz [options]
   --max-faults N       fault-list cap per seed (default 96)
   --threads LIST       comma-separated thread counts to cross-check
                        (default 1,4)
+  --words LIST         comma-separated packed word widths to cross-check
+                       against the scalar words=0 oracle (default 1,4,8)
   --corpus DIR         where shrunk reproducers are written
                        (default fuzz_corpus)
   --no-shrink          report mismatches without minimizing them
@@ -138,6 +141,11 @@ int main(int argc, char** argv) {
             for (const std::string& t : splitTrim(next(), ','))
                 opts.thread_counts.push_back(parseNum<unsigned>(arg, t));
             if (opts.thread_counts.empty()) usageError("empty --threads list");
+        } else if (arg == "--words") {
+            opts.word_widths.clear();
+            for (const std::string& w : splitTrim(next(), ','))
+                opts.word_widths.push_back(parseNum<unsigned>(arg, w));
+            if (opts.word_widths.empty()) usageError("empty --words list");
         } else if (arg == "--corpus") opts.corpus_dir = next();
         else if (arg == "--no-shrink") opts.shrink = false;
         else if (arg == "--keep-going") opts.stop_on_first = false;

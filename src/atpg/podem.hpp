@@ -14,6 +14,14 @@
 // Sources can be frozen to fixed values before generation — that is how the
 // skewed-load ATPG constrains V1's state to be the shifted V2 state, and how
 // broadside justification pins the required next-state bits.
+//
+// Implication deliberately stays on the one-word PatternSim rather than the
+// word-packed PackedSim: PODEM implies a single candidate assignment at a
+// time (two slots of one word), so wider planes would only add memory
+// traffic. Grading the generated tests, by contrast, goes through the
+// packed engine via runStuckAtFaultSim / runTransitionFaultSim, whose
+// width clamp (ceil(n_patterns / 64)) keeps the one-test-at-a-time calls
+// on a single word automatically.
 #pragma once
 
 #include "fault/fault_sim.hpp"

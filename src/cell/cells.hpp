@@ -41,6 +41,12 @@ enum class CellFn : std::uint8_t {
 /// True for the sequential elements (Dff / Sdff).
 [[nodiscard]] bool isSequential(CellFn fn) noexcept;
 
+/// Hard ceiling on combinational gate arity. The simulators evaluate gates
+/// into fixed-size input buffers of this many entries, so the netlist layer
+/// rejects wider combinational gates at construction time and the `.bench`
+/// reader tree-decomposes them instead (bench_io.cpp).
+inline constexpr std::size_t kMaxGateArity = 8;
+
 /// A transistor inside a cell. Width is in units of Tech::w_min_um.
 /// `input_pin` is the index of the input pin driving its gate terminal, or
 /// -1 for devices driven by internal nodes (their gate cap is internal).

@@ -10,6 +10,7 @@
 
 #include "cell/cells.hpp"
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 
@@ -48,14 +49,19 @@ struct PV {
         return {0, ~0ULL};
     }
 
-    /// Value of slot `i` as scalar logic.
+    /// Value of slot `i` as scalar logic. `i` must be < 64: the shift is
+    /// undefined behaviour beyond the word, so wider packed blocks address
+    /// slots as (word, slot) pairs (PackedSim) and never reach here with a
+    /// global slot index.
     [[nodiscard]] Logic get(unsigned i) const noexcept {
+        assert(i < 64 && "PV slot index out of range; use (word, slot) addressing");
         const std::uint64_t bit = 1ULL << i;
         if (x & bit) return Logic::X;
         return (v & bit) ? Logic::One : Logic::Zero;
     }
 
     void set(unsigned i, Logic l) noexcept {
+        assert(i < 64 && "PV slot index out of range; use (word, slot) addressing");
         const std::uint64_t bit = 1ULL << i;
         switch (l) {
             case Logic::Zero: v &= ~bit; x &= ~bit; break;

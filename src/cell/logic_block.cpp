@@ -1,0 +1,120 @@
+#include "cell/logic_block.hpp"
+
+#include "cell/logic_block_impl.hpp"
+
+#include <cassert>
+
+namespace flh {
+
+namespace detail {
+
+void evalCellBlockScalar(CellFn fn, const std::uint64_t* const* in_v,
+                         const std::uint64_t* const* in_x, std::size_t n_ins,
+                         std::uint64_t* out_v, std::uint64_t* out_x,
+                         unsigned words) noexcept {
+    evalBlockT<ScalarBatch>(fn, in_v, in_x, n_ins, out_v, out_x, 0, words);
+}
+
+} // namespace detail
+
+namespace {
+
+using Kernel = BlockKernelFn;
+
+/// True when the running CPU can execute `l` (build support is checked
+/// separately via the FLH_HAVE_* macros).
+bool cpuSupports(SimdLevel l) noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    switch (l) {
+        case SimdLevel::Scalar: return true;
+        case SimdLevel::Avx2: return __builtin_cpu_supports("avx2") != 0;
+        case SimdLevel::Avx512:
+            // The kernel only needs the foundation subset (512-bit logic ops).
+            return __builtin_cpu_supports("avx512f") != 0;
+    }
+    return false;
+#else
+    return l == SimdLevel::Scalar;
+#endif
+}
+
+bool builtWith(SimdLevel l) noexcept {
+    switch (l) {
+        case SimdLevel::Scalar: return true;
+        case SimdLevel::Avx2:
+#if defined(FLH_HAVE_AVX2)
+            return true;
+#else
+            return false;
+#endif
+        case SimdLevel::Avx512:
+#if defined(FLH_HAVE_AVX512)
+            return true;
+#else
+            return false;
+#endif
+    }
+    return false;
+}
+
+Kernel kernelFor(SimdLevel l) noexcept {
+    switch (l) {
+#if defined(FLH_HAVE_AVX512)
+        case SimdLevel::Avx512: return &detail::evalCellBlockAvx512;
+#endif
+#if defined(FLH_HAVE_AVX2)
+        case SimdLevel::Avx2: return &detail::evalCellBlockAvx2;
+#endif
+        default: return &detail::evalCellBlockScalar;
+    }
+}
+
+struct Dispatch {
+    SimdLevel level;
+    Kernel kernel;
+};
+
+Dispatch& dispatch() noexcept {
+    static Dispatch d = [] {
+        const SimdLevel l = detectedSimdLevel();
+        return Dispatch{l, kernelFor(l)};
+    }();
+    return d;
+}
+
+} // namespace
+
+const char* toString(SimdLevel l) noexcept {
+    switch (l) {
+        case SimdLevel::Scalar: return "scalar";
+        case SimdLevel::Avx2: return "avx2";
+        case SimdLevel::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+SimdLevel detectedSimdLevel() noexcept {
+    for (const SimdLevel l : {SimdLevel::Avx512, SimdLevel::Avx2})
+        if (builtWith(l) && cpuSupports(l)) return l;
+    return SimdLevel::Scalar;
+}
+
+SimdLevel activeSimdLevel() noexcept { return dispatch().level; }
+
+BlockKernelFn activeBlockKernel() noexcept { return dispatch().kernel; }
+
+SimdLevel setSimdLevel(SimdLevel l) noexcept {
+    if (static_cast<int>(l) > static_cast<int>(detectedSimdLevel())) l = detectedSimdLevel();
+    dispatch() = Dispatch{l, kernelFor(l)};
+    return l;
+}
+
+void evalCellBlock(CellFn fn, const std::uint64_t* const* in_v,
+                   const std::uint64_t* const* in_x, std::size_t n_ins,
+                   std::uint64_t* out_v, std::uint64_t* out_x, unsigned words) noexcept {
+    assert(words >= 1 && words <= kMaxPackedWords);
+    assert(n_ins <= kMaxGateArity);
+    dispatch().kernel(fn, in_v, in_x, n_ins, out_v, out_x, words);
+}
+
+} // namespace flh

@@ -1,0 +1,53 @@
+// AVX2 build of the packed gate-evaluation kernel: 4 plane words (256
+// pattern slots) per vector op. This translation unit is compiled with
+// -mavx2 (see src/cell/CMakeLists.txt) and only ever *called* after the
+// runtime cpuid check in logic_block.cpp, so the rest of the library keeps
+// the baseline ISA.
+#include "cell/logic_block_impl.hpp"
+
+#include <immintrin.h>
+
+namespace flh::detail {
+
+namespace {
+
+struct Avx2Batch {
+    static constexpr unsigned kWords = 4;
+    __m256i r;
+
+    static Avx2Batch load(const std::uint64_t* p) noexcept {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+    }
+    void store(std::uint64_t* p) const noexcept {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), r);
+    }
+    static Avx2Batch ones() noexcept { return {_mm256_set1_epi64x(-1)}; }
+    static Avx2Batch zeros() noexcept { return {_mm256_setzero_si256()}; }
+
+    friend Avx2Batch operator&(Avx2Batch a, Avx2Batch b) noexcept {
+        return {_mm256_and_si256(a.r, b.r)};
+    }
+    friend Avx2Batch operator|(Avx2Batch a, Avx2Batch b) noexcept {
+        return {_mm256_or_si256(a.r, b.r)};
+    }
+    friend Avx2Batch operator^(Avx2Batch a, Avx2Batch b) noexcept {
+        return {_mm256_xor_si256(a.r, b.r)};
+    }
+    friend Avx2Batch operator~(Avx2Batch a) noexcept {
+        return {_mm256_xor_si256(a.r, _mm256_set1_epi64x(-1))};
+    }
+};
+
+} // namespace
+
+void evalCellBlockAvx2(CellFn fn, const std::uint64_t* const* in_v,
+                       const std::uint64_t* const* in_x, std::size_t n_ins,
+                       std::uint64_t* out_v, std::uint64_t* out_x,
+                       unsigned words) noexcept {
+    const unsigned main = words & ~(Avx2Batch::kWords - 1);
+    if (main) evalBlockT<Avx2Batch>(fn, in_v, in_x, n_ins, out_v, out_x, 0, main);
+    if (words != main)
+        evalBlockT<ScalarBatch>(fn, in_v, in_x, n_ins, out_v, out_x, main, words);
+}
+
+} // namespace flh::detail

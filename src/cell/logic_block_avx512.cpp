@@ -1,0 +1,51 @@
+// AVX-512 build of the packed gate-evaluation kernel: 8 plane words (512
+// pattern slots, the full kMaxPackedWords block) per vector op. Compiled
+// with -mavx512f and dispatched to only after the runtime cpuid check in
+// logic_block.cpp. Only the foundation subset (512-bit logic ops) is used —
+// ternlog fusion is left to the compiler.
+#include "cell/logic_block_impl.hpp"
+
+#include <immintrin.h>
+
+namespace flh::detail {
+
+namespace {
+
+struct Avx512Batch {
+    static constexpr unsigned kWords = 8;
+    __m512i r;
+
+    static Avx512Batch load(const std::uint64_t* p) noexcept {
+        return {_mm512_loadu_si512(p)};
+    }
+    void store(std::uint64_t* p) const noexcept { _mm512_storeu_si512(p, r); }
+    static Avx512Batch ones() noexcept { return {_mm512_set1_epi64(-1)}; }
+    static Avx512Batch zeros() noexcept { return {_mm512_setzero_si512()}; }
+
+    friend Avx512Batch operator&(Avx512Batch a, Avx512Batch b) noexcept {
+        return {_mm512_and_si512(a.r, b.r)};
+    }
+    friend Avx512Batch operator|(Avx512Batch a, Avx512Batch b) noexcept {
+        return {_mm512_or_si512(a.r, b.r)};
+    }
+    friend Avx512Batch operator^(Avx512Batch a, Avx512Batch b) noexcept {
+        return {_mm512_xor_si512(a.r, b.r)};
+    }
+    friend Avx512Batch operator~(Avx512Batch a) noexcept {
+        return {_mm512_xor_si512(a.r, _mm512_set1_epi64(-1))};
+    }
+};
+
+} // namespace
+
+void evalCellBlockAvx512(CellFn fn, const std::uint64_t* const* in_v,
+                         const std::uint64_t* const* in_x, std::size_t n_ins,
+                         std::uint64_t* out_v, std::uint64_t* out_x,
+                         unsigned words) noexcept {
+    const unsigned main = words & ~(Avx512Batch::kWords - 1);
+    if (main) evalBlockT<Avx512Batch>(fn, in_v, in_x, n_ins, out_v, out_x, 0, main);
+    if (words != main)
+        evalBlockT<ScalarBatch>(fn, in_v, in_x, n_ins, out_v, out_x, main, words);
+}
+
+} // namespace flh::detail

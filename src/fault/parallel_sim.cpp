@@ -1,6 +1,7 @@
 #include "fault/parallel_sim.hpp"
 
 #include "obs/telemetry.hpp"
+#include "sim/packed_sim.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -166,6 +167,79 @@ void warmCaches(const Netlist& nl) {
     if (nl.netCount()) (void)nl.fanout(0);
 }
 
+// ---- packed (word-parallel) engine helpers -------------------------------
+
+/// Effective packed width for a run: 0 keeps the scalar PatternSim engine;
+/// otherwise clamp to the words the pattern count actually fills, so small
+/// runs (ATPG grading one test at a time) never propagate unused words.
+unsigned effectiveWords(unsigned words, std::size_t n_patterns) {
+    if (words == 0) return 0;
+    const std::size_t need = (n_patterns + 63) / 64;
+    return static_cast<unsigned>(std::min<std::size_t>(
+        {static_cast<std::size_t>(words), need, static_cast<std::size_t>(kMaxPackedWords)}));
+}
+
+/// Load up to words*64 patterns into the packed simulator (pattern i in
+/// word i/64, slot i%64); missing slots repeat the last pattern so they
+/// never create spurious detections (masked off via the per-word valid
+/// masks). The transpose runs pattern-major — one pass over each Pattern's
+/// bit vectors, accumulating words per source — instead of revisiting all
+/// words*64 Pattern objects once per source net.
+void loadPatternsPacked(PackedSim& sim, std::span<const Pattern> pats, std::size_t base,
+                        std::size_t count) {
+    const Netlist& nl = sim.netlist();
+    const unsigned W = sim.words();
+    const auto& pis = nl.pis();
+    const auto& ffs = nl.flipFlops();
+    const std::size_t n_pis = pis.size();
+    const std::size_t n_src = n_pis + ffs.size();
+    std::vector<std::uint64_t> tv(n_src * W, 0);
+    std::vector<std::uint64_t> tx(n_src * W, 0);
+    for (unsigned w = 0; w < W; ++w) {
+        for (unsigned slot = 0; slot < 64; ++slot) {
+            const std::size_t i = std::min<std::size_t>(64ULL * w + slot, count - 1);
+            const Pattern& p = pats[base + i];
+            const std::uint64_t bit = 1ULL << slot;
+            for (std::size_t k = 0; k < n_pis; ++k) {
+                const Logic l = p.pis[k];
+                if (l == Logic::One) tv[k * W + w] |= bit;
+                else if (l == Logic::X) tx[k * W + w] |= bit;
+            }
+            for (std::size_t k = 0; k < ffs.size(); ++k) {
+                const Logic l = p.state[k];
+                if (l == Logic::One) tv[(n_pis + k) * W + w] |= bit;
+                else if (l == Logic::X) tx[(n_pis + k) * W + w] |= bit;
+            }
+        }
+    }
+    for (std::size_t k = 0; k < n_pis; ++k)
+        for (unsigned w = 0; w < W; ++w)
+            sim.setNet(pis[k], w, PV{tv[k * W + w], tx[k * W + w]});
+    for (std::size_t k = 0; k < ffs.size(); ++k)
+        for (unsigned w = 0; w < W; ++w)
+            sim.setNet(nl.gate(ffs[k]).output, w,
+                       PV{tv[(n_pis + k) * W + w], tx[(n_pis + k) * W + w]});
+    sim.propagate();
+}
+
+/// One flag per net marking the observation points (POs and FF D nets) for
+/// PackedSim::faultDiffOnto. The packed engine detects against the undo
+/// log's pre-fault planes, so no good-machine observation snapshot is ever
+/// taken: per fault it compares only the nets the fault cone touched.
+std::vector<std::uint8_t> observationFlags(const Netlist& nl) {
+    std::vector<std::uint8_t> is_obs(nl.netCount(), 0);
+    for (const NetId po : nl.pos()) is_obs[po] = 1;
+    for (const GateId ff : nl.flipFlops()) is_obs[nl.gate(ff).inputs[0]] = 1;
+    return is_obs;
+}
+
+/// Valid-slot mask of word `w` in a block of `count` patterns.
+std::uint64_t validMaskWord(std::size_t count, unsigned w) {
+    const std::size_t lo = 64ULL * w;
+    if (count <= lo) return 0;
+    return validMask(std::min<std::size_t>(count - lo, 64));
+}
+
 } // namespace
 
 FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pats,
@@ -178,7 +252,54 @@ FaultSimResult runStuckAtFaultSim(const Netlist& nl, std::span<const Pattern> pa
 
     warmCaches(nl);
     DetectedBitmap det(faults.size());
-    runPartitioned("stuck_at", faults.size(), opts.resolveThreads(faults.size()),
+    const unsigned W = effectiveWords(opts.words, pats.size());
+    const unsigned threads = opts.resolveThreads(faults.size());
+    if (W) {
+        runPartitioned(
+            "stuck_at", faults.size(), threads,
+            [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
+                if (lo == hi) return;
+                PackedSim sim(nl, W);
+                const std::vector<std::uint8_t> is_obs = observationFlags(nl);
+                std::uint64_t diff[kMaxPackedWords];
+                std::uint64_t validw[kMaxPackedWords];
+                const std::size_t block = 64ULL * W;
+                for (std::size_t base = 0; base < pats.size(); base += block) {
+                    obs::ScopedSpan batch_span(
+                        obs::enabled() ? "batch@" + std::to_string(base) : std::string(),
+                        "fault_sim.batch");
+                    ++tally.batches;
+                    const std::size_t count = std::min<std::size_t>(block, pats.size() - base);
+                    for (unsigned w = 0; w < W; ++w) validw[w] = validMaskWord(count, w);
+                    loadPatternsPacked(sim, pats, base, count);
+                    for (std::size_t fi = lo; fi < hi; ++fi) {
+                        if (det.test(fi)) {
+                            ++tally.dropped;
+                            continue;
+                        }
+                        sim.injectFault(faults[fi]);
+                        sim.propagate();
+                        sim.faultDiffOnto(is_obs.data(), diff);
+                        sim.clearFault();
+                        ++tally.graded;
+                        std::uint64_t hit = 0;
+                        for (unsigned w = 0; w < W; ++w) hit |= diff[w] & validw[w];
+                        if (hit) {
+                            det.set(fi);
+                            ++tally.detected;
+                        }
+                    }
+                }
+            });
+
+        for (std::size_t fi = 0; fi < faults.size(); ++fi)
+            if (det.test(fi)) {
+                res.detected_mask[fi] = true;
+                ++res.detected;
+            }
+        return res;
+    }
+    runPartitioned("stuck_at", faults.size(), threads,
                    [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        PatternSim sim(nl);
@@ -270,6 +391,57 @@ struct TransitionWorkerState {
     }
 };
 
+/// Word-packed variant of TransitionWorkerState: same V1-launch / V2-detect
+/// split, per word. Detection runs against the V2 machine's undo log
+/// (PackedSim::faultDiffOnto) instead of good/faulty observation snapshots.
+struct PackedTransitionState {
+    PackedSim sim_v1;
+    PackedSim sim_v2;
+    std::vector<std::uint8_t> is_obs;
+
+    PackedTransitionState(const Netlist& nl, unsigned words)
+        : sim_v1(nl, words), sim_v2(nl, words), is_obs(observationFlags(nl)) {}
+
+    void loadBlock(std::span<const Pattern> v1s, std::span<const Pattern> v2s, std::size_t base,
+                   std::size_t count) {
+        loadPatternsPacked(sim_v1, v1s, base, count);
+        loadPatternsPacked(sim_v2, v2s, base, count);
+    }
+
+    /// Fill `init_ok` with the per-word launch-and-valid mask; returns the
+    /// OR over words (zero means no slot of this block can detect `tf`).
+    std::uint64_t launchMask(const TransitionFault& tf, const std::uint64_t* validw,
+                             std::uint64_t* init_ok) const {
+        const unsigned W = sim_v1.words();
+        const std::uint64_t* v = sim_v1.valuePlane(tf.net);
+        const std::uint64_t* x = sim_v1.unknownPlane(tf.net);
+        const std::uint64_t want_one = tf.initialValue() == Logic::One ? ~0ULL : 0;
+        std::uint64_t any = 0;
+        for (unsigned w = 0; w < W; ++w) {
+            init_ok[w] = ~(v[w] ^ want_one) & ~x[w] & validw[w];
+            any |= init_ok[w];
+        }
+        return any;
+    }
+
+    /// Fill `hit` with the per-word detection mask; returns the OR over
+    /// words.
+    std::uint64_t detectMask(const TransitionFault& tf, const std::uint64_t* init_ok,
+                             std::uint64_t* hit) {
+        const unsigned W = sim_v2.words();
+        sim_v2.injectFault(tf.equivalentStuckAt());
+        sim_v2.propagate();
+        sim_v2.faultDiffOnto(is_obs.data(), hit);
+        sim_v2.clearFault();
+        std::uint64_t any = 0;
+        for (unsigned w = 0; w < W; ++w) {
+            hit[w] &= init_ok[w];
+            any |= hit[w];
+        }
+        return any;
+    }
+};
+
 } // namespace
 
 FaultSimResult runTransitionFaultSim(const Netlist& nl, std::span<const TwoPattern> tests,
@@ -286,7 +458,49 @@ FaultSimResult runTransitionFaultSim(const Netlist& nl, std::span<const TwoPatte
     splitPairs(tests, v1s, v2s);
 
     DetectedBitmap det(faults.size());
-    runPartitioned("transition", faults.size(), opts.resolveThreads(faults.size()),
+    const unsigned W = effectiveWords(opts.words, tests.size());
+    const unsigned threads = opts.resolveThreads(faults.size());
+    if (W) {
+        runPartitioned(
+            "transition", faults.size(), threads,
+            [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
+                if (lo == hi) return;
+                PackedTransitionState ws(nl, W);
+                std::uint64_t validw[kMaxPackedWords];
+                std::uint64_t init_ok[kMaxPackedWords];
+                std::uint64_t hit[kMaxPackedWords];
+                const std::size_t block = 64ULL * W;
+                for (std::size_t base = 0; base < tests.size(); base += block) {
+                    obs::ScopedSpan batch_span(
+                        obs::enabled() ? "batch@" + std::to_string(base) : std::string(),
+                        "fault_sim.batch");
+                    ++tally.batches;
+                    const std::size_t count = std::min<std::size_t>(block, tests.size() - base);
+                    for (unsigned w = 0; w < W; ++w) validw[w] = validMaskWord(count, w);
+                    ws.loadBlock(v1s, v2s, base, count);
+                    for (std::size_t fi = lo; fi < hi; ++fi) {
+                        if (det.test(fi)) {
+                            ++tally.dropped;
+                            continue;
+                        }
+                        if (ws.launchMask(faults[fi], validw, init_ok) == 0) continue;
+                        ++tally.graded;
+                        if (ws.detectMask(faults[fi], init_ok, hit)) {
+                            det.set(fi);
+                            ++tally.detected;
+                        }
+                    }
+                }
+            });
+
+        for (std::size_t fi = 0; fi < faults.size(); ++fi)
+            if (det.test(fi)) {
+                res.detected_mask[fi] = true;
+                ++res.detected;
+            }
+        return res;
+    }
+    runPartitioned("transition", faults.size(), threads,
                    [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        TransitionWorkerState ws(nl);
@@ -337,7 +551,38 @@ std::vector<std::size_t> countTransitionDetections(const Netlist& nl,
 
     // No fault dropping (the profile needs every test), and each worker
     // writes a disjoint slice of `counts`, so no synchronization is needed.
-    runPartitioned("ndetect", faults.size(), opts.resolveThreads(faults.size()),
+    const unsigned W = effectiveWords(opts.words, tests.size());
+    const unsigned threads = opts.resolveThreads(faults.size());
+    if (W) {
+        runPartitioned(
+            "ndetect", faults.size(), threads,
+            [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
+                if (lo == hi) return;
+                PackedTransitionState ws(nl, W);
+                std::uint64_t validw[kMaxPackedWords];
+                std::uint64_t init_ok[kMaxPackedWords];
+                std::uint64_t hit[kMaxPackedWords];
+                const std::size_t block = 64ULL * W;
+                for (std::size_t base = 0; base < tests.size(); base += block) {
+                    obs::ScopedSpan batch_span(
+                        obs::enabled() ? "batch@" + std::to_string(base) : std::string(),
+                        "fault_sim.batch");
+                    ++tally.batches;
+                    const std::size_t count = std::min<std::size_t>(block, tests.size() - base);
+                    for (unsigned w = 0; w < W; ++w) validw[w] = validMaskWord(count, w);
+                    ws.loadBlock(v1s, v2s, base, count);
+                    for (std::size_t fi = lo; fi < hi; ++fi) {
+                        if (ws.launchMask(faults[fi], validw, init_ok) == 0) continue;
+                        ++tally.graded;
+                        ws.detectMask(faults[fi], init_ok, hit);
+                        for (unsigned w = 0; w < W; ++w)
+                            counts[fi] += static_cast<std::size_t>(std::popcount(hit[w]));
+                    }
+                }
+            });
+        return counts;
+    }
+    runPartitioned("ndetect", faults.size(), threads,
                    [&](std::size_t lo, std::size_t hi, WorkerTally& tally) {
                        if (lo == hi) return;
                        TransitionWorkerState ws(nl);

@@ -1,12 +1,20 @@
 // Multi-threaded fault-simulation engine.
 //
 // The fault list is split into contiguous ranges, one per worker; each
-// worker owns a private PatternSim replica (two for two-pattern tests) and
-// grades only its range, batch-major: for every 64-wide pattern batch the
-// worker loads the batch, snapshots the good machine, then injects each
+// worker owns a private simulator replica (two for two-pattern tests) and
+// grades only its range, block-major: for every pattern block the worker
+// loads the block, snapshots the good machine, then injects each
 // still-undetected fault of its range, propagates the faulty cone
 // event-driven, compares observation points, and rolls the simulator back
-// through the recorded event frontier (PatternSim::clearFault).
+// through the recorded event frontier (clearFault).
+//
+// The default engine is the word-packed PPSFP simulator (sim/packed_sim.hpp):
+// a block is FaultSimOptions::words x 64 patterns, evaluated plane-wise by
+// the runtime-dispatched SIMD kernel (cell/logic_block.hpp). words = 0
+// selects the scalar 64-wide PatternSim path, kept as the differential
+// oracle; both produce bit-identical detected masks (the verdict is a pure
+// function of the pattern set). The packed width is clamped per run to
+// ceil(n_patterns / 64), so small pattern sets never pay for unused words.
 //
 // Fault dropping is shared through an atomic detected bitmap: a worker sets
 // a fault's bit with a relaxed fetch_or on first detection and skips any
@@ -42,6 +50,14 @@ struct FaultSimOptions {
     /// 0 disables the floor. Deprecated alias of
     /// ExecPolicy::min_items_per_worker.
     std::size_t min_faults_per_worker = 64;
+
+    /// 64-bit words per packed-simulation block: each propagation pass
+    /// grades words x 64 patterns (kMaxPackedWords max). 0 selects the
+    /// scalar one-word PatternSim engine — the differential oracle; any
+    /// width produces bit-identical detected masks. Values above
+    /// ceil(n_patterns / 64) are clamped, so the default never slows down
+    /// single-batch runs (e.g. ATPG grading one test at a time).
+    unsigned words = 4;
 
     /// The unified policy view of the knobs above.
     [[nodiscard]] ExecPolicy exec() const noexcept {

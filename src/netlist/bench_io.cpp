@@ -51,6 +51,72 @@ struct PendingGate {
     throw std::runtime_error("bench parse error at line " + std::to_string(line) + ": " + what);
 }
 
+/// Associative base function used for the partial reductions when a wide
+/// gate is tree-decomposed; the inverting variants (NAND/NOR/XNOR) keep the
+/// inversion on the final gate only, so the overall logic is unchanged.
+std::optional<CellFn> reductionFn(CellFn fn) {
+    switch (fn) {
+        case CellFn::And:
+        case CellFn::Nand: return CellFn::And;
+        case CellFn::Or:
+        case CellFn::Nor: return CellFn::Or;
+        case CellFn::Xor:
+        case CellFn::Xnor: return CellFn::Xor;
+        default: return std::nullopt;
+    }
+}
+
+/// Add a combinational gate, tree-decomposing it when the library has no
+/// cell of this width or the width exceeds the simulators' kMaxGateArity
+/// ceiling (the simulators evaluate gates into fixed-size input buffers, so
+/// Netlist::addGate rejects wider combinational gates outright). Partial
+/// reductions land on fresh nets named `<out>__w<k>`.
+void addGateDecomposed(Netlist& nl, CellFn fn, std::vector<NetId> ins, NetId out) {
+    const Library& lib = nl.library();
+    const auto fits = [&](CellFn f, std::size_t n) {
+        return n <= kMaxGateArity && lib.has(f, static_cast<int>(n));
+    };
+    if (fits(fn, ins.size())) {
+        nl.addGate(fn, ins, out);
+        return;
+    }
+    const auto base = reductionFn(fn);
+    if (!base)
+        throw std::runtime_error(std::string("no ") + toString(fn) + "/" +
+                                 std::to_string(ins.size()) +
+                                 " cell in library and the function is not decomposable");
+    int max_ar = 0;
+    for (int n = static_cast<int>(std::min<std::size_t>(kMaxGateArity, ins.size())); n >= 2; --n)
+        if (lib.has(*base, n)) {
+            max_ar = n;
+            break;
+        }
+    if (max_ar < 2)
+        throw std::runtime_error(std::string("no 2+-input ") + toString(*base) +
+                                 " cell to decompose " + toString(fn) + "/" +
+                                 std::to_string(ins.size()));
+    int tmp = 0;
+    const auto freshNet = [&] {
+        std::string n;
+        do {
+            n = nl.net(out).name + "__w" + std::to_string(tmp++);
+        } while (nl.findNet(n));
+        return nl.addNet(n);
+    };
+    while (!fits(fn, ins.size())) {
+        if (ins.size() <= static_cast<std::size_t>(max_ar))
+            throw std::runtime_error(std::string("no ") + toString(fn) + "/" +
+                                     std::to_string(ins.size()) +
+                                     " cell to finish decomposition");
+        std::vector<NetId> chunk(ins.begin(), ins.begin() + max_ar);
+        ins.erase(ins.begin(), ins.begin() + max_ar);
+        const NetId t = freshNet();
+        nl.addGate(*base, chunk, t);
+        ins.push_back(t);
+    }
+    nl.addGate(fn, ins, out);
+}
+
 } // namespace
 
 Netlist readBench(std::istream& in, const std::string& name, const Library& lib) {
@@ -130,9 +196,13 @@ Netlist readBench(std::istream& in, const std::string& name, const Library& lib)
             } else {
                 if (pg.fn == CellFn::Sdff && ins.size() != 3)
                     fail(pg.line, "SDFF takes three inputs (D, SI, SE)");
-                // addGate registers sequential cells (SDFF included) in
-                // flipFlops(), same as the addDff path.
-                nl.addGate(pg.fn, ins, out);
+                if (isSequential(pg.fn)) {
+                    // addGate registers sequential cells (SDFF included) in
+                    // flipFlops(), same as the addDff path.
+                    nl.addGate(pg.fn, ins, out);
+                } else {
+                    addGateDecomposed(nl, pg.fn, std::move(ins), out);
+                }
             }
         } catch (const std::exception& e) {
             fail(pg.line, e.what());

@@ -32,6 +32,11 @@ void Netlist::markPo(NetId net) {
 }
 
 GateId Netlist::addGate(CellFn fn, const std::vector<NetId>& inputs, NetId output) {
+    if (!isSequential(fn) && inputs.size() > kMaxGateArity)
+        throw std::invalid_argument("addGate: arity " + std::to_string(inputs.size()) +
+                                    " exceeds kMaxGateArity (" +
+                                    std::to_string(kMaxGateArity) +
+                                    "); decompose wide gates (see readBench)");
     const CellId cell = lib_->find(fn, static_cast<int>(inputs.size()));
     if (output >= nets_.size()) throw std::out_of_range("addGate: bad output net");
     if (nets_[output].driver != kInvalidId || nets_[output].is_pi)
@@ -64,6 +69,10 @@ void Netlist::replaceGate(GateId g, CellFn fn, const std::vector<NetId>& inputs)
     Gate& gate = gates_.at(g);
     if (isSequential(gate.fn) != isSequential(fn))
         throw std::invalid_argument("replaceGate must not change sequential status");
+    if (!isSequential(fn) && inputs.size() > kMaxGateArity)
+        throw std::invalid_argument("replaceGate: arity " + std::to_string(inputs.size()) +
+                                    " exceeds kMaxGateArity (" +
+                                    std::to_string(kMaxGateArity) + ")");
     const CellId cell = lib_->find(fn, static_cast<int>(inputs.size()));
     for (NetId in : inputs)
         if (in >= nets_.size()) throw std::out_of_range("replaceGate: bad input net");

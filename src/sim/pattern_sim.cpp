@@ -2,10 +2,24 @@
 
 #include <bit>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace flh {
 
 PatternSim::PatternSim(const Netlist& nl) : nl_(&nl) {
+    // Hard arity check, not just the debug assert in propagate(): the hot
+    // loop evaluates gates into a fixed kMaxGateArity-entry input buffer, so
+    // a wider combinational gate would silently corrupt the stack in release
+    // builds. Netlist::addGate rejects such gates too, but a Library built
+    // directly (Library::add takes any cell) can still smuggle one in.
+    for (GateId g = 0; g < nl.gateCount(); ++g) {
+        const Gate& gate = nl.gate(g);
+        if (!isSequential(gate.fn) && gate.inputs.size() > kMaxGateArity)
+            throw std::invalid_argument(
+                "PatternSim: gate '" + nl.net(gate.output).name + "' has arity " +
+                std::to_string(gate.inputs.size()) + " > " + std::to_string(kMaxGateArity));
+    }
     (void)nl_->topoOrder(); // force levelization (throws on comb loops)
     reset();
 }
@@ -45,7 +59,11 @@ void PatternSim::applyValue(NetId net, PV value) {
         undo_mark_[net] = 1;
         undo_.push_back({net, cur});
     }
-    if (count_toggles_) {
+    // Toggle counting is suspended while a fault is active: the faulty
+    // excursion's flips are rolled back by clearFault, so counting them (and
+    // counting the rollback writes, which bypass applyValue) would
+    // contaminate the power numbers derived from totalToggles().
+    if (count_toggles_ && !fault_active_) {
         const std::uint64_t flips = (cur.v ^ value.v) & ~cur.x & ~value.x;
         toggles_[net] += static_cast<std::uint64_t>(std::popcount(flips));
     }
@@ -67,8 +85,8 @@ std::size_t PatternSim::propagate() {
             scheduled_[g] = 0;
             if (held_[g]) continue;
             const Gate& gate = nl_->gate(g);
-            PV ins[8];
-            assert(gate.inputs.size() <= 8);
+            PV ins[kMaxGateArity];
+            assert(gate.inputs.size() <= kMaxGateArity); // enforced in ctor
             for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
                 PV v = values_[gate.inputs[p]];
                 if (fault_active_ && fault_.isPinFault() && fault_.gate == g &&
@@ -115,8 +133,8 @@ void PatternSim::clearFault() {
     if (!fault_active_) return;
     fault_active_ = false;
     // Restore the recorded event frontier: only nets the faulty excursion
-    // touched are written back, nothing is re-evaluated. Toggle counts are
-    // left as counted — the excursion's flips already happened.
+    // touched are written back, nothing is re-evaluated. Toggle counts need
+    // no compensation: counting was suspended while the fault was active.
     for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
         values_[it->net] = it->value;
         undo_mark_[it->net] = 0;

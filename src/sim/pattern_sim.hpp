@@ -83,7 +83,9 @@ public:
 
     // ---- toggle accounting ----------------------------------------------
     /// When enabled, every known-value bit flip on a net is counted
-    /// (per-net, summed over pattern slots).
+    /// (per-net, summed over pattern slots). Counting is suspended while a
+    /// fault is active, so PPSFP fault grading leaves toggle counts exactly
+    /// as a fault-free run of the same patterns would.
     void enableToggleCount(bool on);
     void clearToggleCounts();
     [[nodiscard]] const std::vector<std::uint64_t>& toggleCounts() const noexcept {

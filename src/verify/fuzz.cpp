@@ -3,6 +3,7 @@
 #include "dft/scan.hpp"
 #include "fault/parallel_sim.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/packed_sim.hpp"
 #include "util/rng.hpp"
 #include "verify/corpus.hpp"
 #include "verify/shrink.hpp"
@@ -70,6 +71,65 @@ bool perNetMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
     return false;
 }
 
+/// PackedSim (word-packed SIMD engine) vs the scalar reference, at every
+/// requested word width. The first pattern is replaced by an all-X vector so
+/// the widest Kleene case is always present, the list is padded by
+/// repeating the last pattern (as the fault-sim loaders do), and the padded
+/// tail slot of the last word is checked too.
+bool packedPerNetMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
+                          const FuzzOptions& opts, std::string* detail) {
+    if (pairs.empty()) return false;
+    std::vector<Pattern> pats;
+    pats.reserve(pairs.size());
+    for (const TwoPattern& tp : pairs) pats.push_back(tp.v1);
+    for (Logic& b : pats[0].pis) b = Logic::X;
+    for (Logic& b : pats[0].state) b = Logic::X;
+    std::vector<std::vector<Logic>> refs;
+    refs.reserve(pats.size());
+    for (const Pattern& p : pats) refs.push_back(refEval(nl, p));
+
+    for (const unsigned W : opts.word_widths) {
+        if (W < 1 || W > kMaxPackedWords) continue;
+        PackedSim sim(nl, W);
+        const auto loadSource = [&](NetId net, auto&& bit) {
+            for (unsigned w = 0; w < W; ++w) {
+                PV v;
+                for (unsigned slot = 0; slot < 64; ++slot) {
+                    const std::size_t i = std::min<std::size_t>(64ULL * w + slot, pats.size() - 1);
+                    v.set(slot, bit(pats[i]));
+                }
+                sim.setNet(net, w, v);
+            }
+        };
+        for (std::size_t k = 0; k < nl.pis().size(); ++k)
+            loadSource(nl.pis()[k], [k](const Pattern& p) { return p.pis[k]; });
+        for (std::size_t k = 0; k < nl.flipFlops().size(); ++k)
+            loadSource(nl.gate(nl.flipFlops()[k]).output,
+                       [k](const Pattern& p) { return p.state[k]; });
+        sim.evalAll();
+
+        const auto mismatchAt = [&](std::size_t pat, unsigned w, unsigned slot) {
+            for (NetId net = 0; net < nl.netCount(); ++net) {
+                if (sim.get(net, w, slot) == refs[pat][net]) continue;
+                if (detail) {
+                    std::ostringstream os;
+                    os << "words=" << W << " net " << nl.net(net).name << " word " << w
+                       << " slot " << slot << ": reference " << toChar(refs[pat][net])
+                       << ", PackedSim " << toChar(sim.get(net, w, slot));
+                    *detail = os.str();
+                }
+                return true;
+            }
+            return false;
+        };
+        for (std::size_t i = 0; i < pats.size() && i < 64ULL * W; ++i)
+            if (mismatchAt(i, static_cast<unsigned>(i / 64), static_cast<unsigned>(i % 64)))
+                return true;
+        if (mismatchAt(pats.size() - 1, W - 1, 63)) return true; // padded tail
+    }
+    return false;
+}
+
 bool seqCaptureMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
                         std::string* detail) {
     for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
@@ -112,23 +172,66 @@ bool masksDiffer(const std::vector<bool>& a, const std::vector<bool>& b, std::si
     return false;
 }
 
+/// Output faults on a PI and a PO net are engine edge cases (fault at the
+/// very source / sink of the cone); the capped collapsed list can drop
+/// them, so they are always re-appended.
+void addBoundaryStuckSites(const Netlist& nl, std::vector<FaultSite>& f) {
+    const auto addNetFault = [&](NetId net) {
+        for (const bool sa1 : {false, true}) {
+            FaultSite s;
+            s.net = net;
+            s.stuck_at_one = sa1;
+            if (std::find(f.begin(), f.end(), s) == f.end()) f.push_back(s);
+        }
+    };
+    if (!nl.pis().empty()) addNetFault(nl.pis().front());
+    if (!nl.pos().empty()) addNetFault(nl.pos().front());
+}
+
+void addBoundaryTransitionSites(const Netlist& nl, std::vector<TransitionFault>& f) {
+    const auto addNetFault = [&](NetId net) {
+        for (const Transition k : {Transition::SlowToRise, Transition::SlowToFall}) {
+            const TransitionFault tf{net, k};
+            if (std::find(f.begin(), f.end(), tf) == f.end()) f.push_back(tf);
+        }
+    };
+    if (!nl.pis().empty()) addNetFault(nl.pis().front());
+    if (!nl.pos().empty()) addNetFault(nl.pos().front());
+}
+
 std::vector<FaultSite> stuckFaults(const Netlist& nl, std::size_t cap) {
     std::vector<FaultSite> f = collapsedStuckAtFaults(nl);
     if (f.size() > cap) f.resize(cap);
+    addBoundaryStuckSites(nl, f);
     return f;
 }
 
 std::vector<TransitionFault> transitionFaults(const Netlist& nl, std::size_t cap) {
     std::vector<TransitionFault> f = allTransitionFaults(nl);
     if (f.size() > cap) f.resize(cap);
+    addBoundaryTransitionSites(nl, f);
     return f;
 }
 
-FaultSimOptions poolOptions(unsigned threads) {
+FaultSimOptions poolOptions(unsigned threads, unsigned words) {
     FaultSimOptions o;
     o.threads = threads;
     o.min_faults_per_worker = 1; // force a real pool even on tiny fault lists
+    o.words = words;
     return o;
+}
+
+/// The scalar single-threaded engine (words = 0) every other configuration
+/// must match bit for bit.
+FaultSimOptions scalarOracle() { return poolOptions(1, 0); }
+
+/// words = 0 first (thread determinism of the oracle itself), then every
+/// requested packed width.
+std::vector<unsigned> widthsUnderTest(const FuzzOptions& opts) {
+    std::vector<unsigned> ws{0};
+    for (const unsigned w : opts.word_widths)
+        if (w >= 1 && w <= kMaxPackedWords) ws.push_back(w);
+    return ws;
 }
 
 bool stuckBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
@@ -137,18 +240,22 @@ bool stuckBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs
     pats.reserve(pairs.size());
     for (const TwoPattern& tp : pairs) pats.push_back(tp.v1);
     const std::vector<FaultSite> faults = stuckFaults(nl, opts.max_faults);
-    const FaultSimResult serial = runStuckAtFaultSim(nl, pats, faults);
+    const FaultSimResult serial = runStuckAtFaultSim(nl, pats, faults, scalarOracle());
     for (const unsigned t : opts.thread_counts) {
-        const FaultSimResult par = runStuckAtFaultSim(nl, pats, faults, poolOptions(t));
-        std::size_t where = 0;
-        if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
-            if (detail) {
-                std::ostringstream os;
-                os << "threads=" << t << " fault " << toString(nl, faults[where]) << ": serial "
-                   << serial.detected_mask[where] << ", parallel " << par.detected_mask[where];
-                *detail = os.str();
+        for (const unsigned w : widthsUnderTest(opts)) {
+            const FaultSimResult par = runStuckAtFaultSim(nl, pats, faults, poolOptions(t, w));
+            std::size_t where = 0;
+            if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
+                if (detail) {
+                    std::ostringstream os;
+                    os << "threads=" << t << " words=" << w << " fault "
+                       << toString(nl, faults[where]) << ": scalar serial "
+                       << serial.detected_mask[where] << ", engine "
+                       << par.detected_mask[where];
+                    *detail = os.str();
+                }
+                return true;
             }
-            return true;
         }
     }
     return false;
@@ -157,18 +264,22 @@ bool stuckBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs
 bool transitionBitmapMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
                               const FuzzOptions& opts, std::string* detail) {
     const std::vector<TransitionFault> faults = transitionFaults(nl, opts.max_faults);
-    const FaultSimResult serial = runTransitionFaultSim(nl, pairs, faults);
+    const FaultSimResult serial = runTransitionFaultSim(nl, pairs, faults, scalarOracle());
     for (const unsigned t : opts.thread_counts) {
-        const FaultSimResult par = runTransitionFaultSim(nl, pairs, faults, poolOptions(t));
-        std::size_t where = 0;
-        if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
-            if (detail) {
-                std::ostringstream os;
-                os << "threads=" << t << " fault " << toString(nl, faults[where]) << ": serial "
-                   << serial.detected_mask[where] << ", parallel " << par.detected_mask[where];
-                *detail = os.str();
+        for (const unsigned w : widthsUnderTest(opts)) {
+            const FaultSimResult par = runTransitionFaultSim(nl, pairs, faults, poolOptions(t, w));
+            std::size_t where = 0;
+            if (masksDiffer(serial.detected_mask, par.detected_mask, &where)) {
+                if (detail) {
+                    std::ostringstream os;
+                    os << "threads=" << t << " words=" << w << " fault "
+                       << toString(nl, faults[where]) << ": scalar serial "
+                       << serial.detected_mask[where] << ", engine "
+                       << par.detected_mask[where];
+                    *detail = os.str();
+                }
+                return true;
             }
-            return true;
         }
     }
     return false;
@@ -178,20 +289,23 @@ bool nDetectMismatch(const Netlist& nl, const std::vector<TwoPattern>& pairs,
                      const FuzzOptions& opts, std::string* detail) {
     const std::vector<TransitionFault> faults = transitionFaults(nl, opts.max_faults);
     const std::vector<std::size_t> serial =
-        countTransitionDetections(nl, pairs, faults, poolOptions(1));
+        countTransitionDetections(nl, pairs, faults, scalarOracle());
     for (const unsigned t : opts.thread_counts) {
-        const std::vector<std::size_t> par =
-            countTransitionDetections(nl, pairs, faults, poolOptions(t));
-        for (std::size_t i = 0; i < serial.size(); ++i) {
-            if (par.size() == serial.size() && par[i] == serial[i]) continue;
-            if (detail) {
-                std::ostringstream os;
-                os << "threads=" << t << " fault " << toString(nl, faults[i]) << ": serial "
-                   << serial[i] << " detections, parallel "
-                   << (i < par.size() ? std::to_string(par[i]) : std::string("<missing>"));
-                *detail = os.str();
+        for (const unsigned w : widthsUnderTest(opts)) {
+            const std::vector<std::size_t> par =
+                countTransitionDetections(nl, pairs, faults, poolOptions(t, w));
+            for (std::size_t i = 0; i < serial.size(); ++i) {
+                if (par.size() == serial.size() && par[i] == serial[i]) continue;
+                if (detail) {
+                    std::ostringstream os;
+                    os << "threads=" << t << " words=" << w << " fault "
+                       << toString(nl, faults[i]) << ": scalar serial " << serial[i]
+                       << " detections, engine "
+                       << (i < par.size() ? std::to_string(par[i]) : std::string("<missing>"));
+                    *detail = os.str();
+                }
+                return true;
             }
-            return true;
         }
     }
     return false;
@@ -282,6 +396,11 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
                  return perNetMismatch(n, ps, nullptr);
              },
              &x_pairs},
+            {"packed-pernet",
+             [&opts](const Netlist& n, const std::vector<TwoPattern>& ps) {
+                 return packedPerNetMismatch(n, ps, opts, nullptr);
+             },
+             &x_pairs},
             {"seq-capture",
              [](const Netlist& n, const std::vector<TwoPattern>& ps) {
                  return seqCaptureMismatch(n, ps, nullptr);
@@ -323,6 +442,8 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
             // Re-run the detailed probe for the report text.
             std::string detail;
             if (finding.check == "per-net") perNetMismatch(scanned, *check.pairs, &detail);
+            else if (finding.check == "packed-pernet")
+                packedPerNetMismatch(scanned, *check.pairs, opts, &detail);
             else if (finding.check == "seq-capture")
                 seqCaptureMismatch(scanned, *check.pairs, &detail);
             else if (finding.check == "stuck-bitmap")

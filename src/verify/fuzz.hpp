@@ -6,12 +6,18 @@
 //  1. per-net values — a naive scalar topological evaluator (written here,
 //     sharing no code with the event-driven engine) vs PatternSim::evalAll,
 //     on several pattern slots including X-laden ones;
-//  2. sequential capture — SequentialSim::clock vs the nextState oracle;
-//  3. detection bitmaps — serial stuck-at / transition fault simulation vs
-//     runParallelFaultSim at every requested thread count (forced into a
-//     real pool via min_items_per_worker = 1), mask bit for mask bit;
-//  4. n-detect counts — countTransitionDetections across thread counts;
-//  5. DFT equivalence — the Fig. 5b protocol under enhanced scan, MUX-hold,
+//  2. packed per-net values — the word-packed PackedSim (SIMD kernel) vs the
+//     same scalar reference at every requested word width, including an
+//     all-X pattern and the padded tail slots;
+//  3. sequential capture — SequentialSim::clock vs the nextState oracle;
+//  4. detection bitmaps — the scalar serial stuck-at / transition engine
+//     (words = 0) vs the engine at every requested thread count x word
+//     width (threads forced into a real pool via min_items_per_worker = 1),
+//     mask bit for mask bit, with stuck-at sites on PI and PO nets always
+//     present in the fault list;
+//  5. n-detect counts — countTransitionDetections across thread counts and
+//     word widths;
+//  6. DFT equivalence — the Fig. 5b protocol under enhanced scan, MUX-hold,
 //     and FLH vs direct evaluation (verify/equivalence.hpp), on random and
 //     ATPG-generated pairs.
 //
@@ -41,6 +47,11 @@ struct FuzzOptions {
     std::size_t max_faults = 96; ///< fault-list cap per seed (cost control)
     std::vector<unsigned> thread_counts{1, 4};
 
+    /// Packed word widths to cross-check against the scalar (words = 0)
+    /// oracle; each bitmap/n-detect check runs every width at every thread
+    /// count, plus words = 0 itself (pure thread-determinism of the oracle).
+    std::vector<unsigned> word_widths{1, 4, 8};
+
     bool shrink = true;
     std::size_t shrink_rounds = 6;
     std::string corpus_dir; ///< non-empty: write shrunk reproducers here
@@ -54,8 +65,9 @@ struct FuzzOptions {
 
 struct FuzzFinding {
     std::uint64_t seed = 0;
-    std::string check; ///< "per-net", "seq-capture", "stuck-bitmap",
-                       ///< "transition-bitmap", "n-detect", "dft-equivalence"
+    std::string check; ///< "per-net", "packed-pernet", "seq-capture",
+                       ///< "stuck-bitmap", "transition-bitmap", "n-detect",
+                       ///< "dft-equivalence"
     std::string detail;
     std::string bench_path; ///< written reproducer (empty when not shrunk)
     std::string pairs_path;

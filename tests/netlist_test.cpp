@@ -1,3 +1,4 @@
+#include "cell/logic.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/netlist.hpp"
 #include "dft/scan.hpp"
@@ -369,6 +370,87 @@ TEST(Netlist, CopyIsIndependent) {
     EXPECT_EQ(a.gateCount() + 1, b.gateCount());
     EXPECT_NO_THROW(a.check());
     EXPECT_NO_THROW(b.check());
+}
+
+TEST(Netlist, WideCombGateRejectedAtConstruction) {
+    // Regression: a library can legally carry a cell wider than the
+    // simulators' fixed input buffers (kMaxGateArity); the netlist layer must
+    // reject such gates at addGate time, not crash in PatternSim::propagate.
+    Library wide = makeDefaultLibrary();
+    Cell and9;
+    and9.name = "AND9";
+    and9.fn = CellFn::And;
+    and9.n_inputs = 9;
+    wide.add(and9);
+
+    Netlist nl("w", wide);
+    std::vector<NetId> ins;
+    for (int i = 0; i < 9; ++i) ins.push_back(nl.addPi("a" + std::to_string(i)));
+    const NetId y = nl.addNet("y");
+    EXPECT_THROW(nl.addGate(CellFn::And, ins, y), std::invalid_argument);
+}
+
+// Scalar oracle for the decomposition tests: straight topological evaluation.
+Logic evalNets(const Netlist& nl, const std::vector<Logic>& pi_vals, NetId out) {
+    std::vector<PV> val(nl.netCount(), PV::all(Logic::X));
+    std::size_t k = 0;
+    for (const NetId pi : nl.pis()) val[pi] = PV::all(pi_vals[k++]);
+    for (const GateId g : nl.topoOrder()) {
+        const Gate& gate = nl.gate(g);
+        std::vector<PV> ins;
+        for (const NetId in : gate.inputs) ins.push_back(val[in]);
+        val[gate.output] = evalCell(gate.fn, ins);
+    }
+    return val[out].get(0);
+}
+
+TEST(BenchIo, WideGatesDecomposeToLibraryArities) {
+    // Regression for the PatternSim ins[kMaxGateArity] overflow: a 9-input
+    // .bench gate must be tree-decomposed into library-available arities
+    // rather than constructing an out-of-range gate.
+    std::string text;
+    for (char c = 'a'; c <= 'i'; ++c) text += std::string("INPUT(") + c + ")\n";
+    text += "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(x)\n"
+            "y = AND(a, b, c, d, e, f, g, h, i)\n"
+            "z = NAND(a, b, c, d, e, f, g, h, i)\n"
+            "x = XOR(a, b, c, d, e, f, g, h, i)\n";
+    const Netlist nl = readBenchString(text, "wide", lib());
+    EXPECT_NO_THROW(nl.check());
+    for (const GateId g : nl.combGates()) {
+        const Gate& gate = nl.gate(g);
+        ASSERT_LE(gate.inputs.size(), kMaxGateArity);
+        ASSERT_TRUE(lib().has(gate.fn, static_cast<int>(gate.inputs.size())))
+            << toString(gate.fn) << "/" << gate.inputs.size();
+    }
+
+    const NetId y = *nl.findNet("y");
+    const NetId z = *nl.findNet("z");
+    const NetId x = *nl.findNet("x");
+    // Exhaustive check is 2^9; sample the corners plus a random sweep.
+    for (std::uint32_t bits : {0u, 0x1FFu, 0x0AAu, 0x155u, 0x001u, 0x100u, 0x0F3u, 0x1C7u}) {
+        std::vector<Logic> pis(9);
+        int ones = 0;
+        for (int i = 0; i < 9; ++i) {
+            pis[i] = (bits >> i) & 1 ? Logic::One : Logic::Zero;
+            ones += (bits >> i) & 1;
+        }
+        const Logic and9 = ones == 9 ? Logic::One : Logic::Zero;
+        const Logic xor9 = ones % 2 ? Logic::One : Logic::Zero;
+        EXPECT_EQ(evalNets(nl, pis, y), and9) << "bits " << bits;
+        EXPECT_EQ(evalNets(nl, pis, z), negate(and9)) << "bits " << bits;
+        EXPECT_EQ(evalNets(nl, pis, x), xor9) << "bits " << bits;
+    }
+}
+
+TEST(BenchIo, WideGateDecompositionRoundTrips) {
+    std::string text;
+    for (char c = 'a'; c <= 'f'; ++c) text += std::string("INPUT(") + c + ")\n";
+    text += "OUTPUT(y)\ny = NOR(a, b, c, d, e, f)\n";
+    const Netlist nl = readBenchString(text, "w", lib());
+    EXPECT_NO_THROW(nl.check());
+    const Netlist back = readBenchString(writeBenchString(nl), "w", lib());
+    EXPECT_EQ(back.gateCount(), nl.gateCount());
+    EXPECT_NO_THROW(back.check());
 }
 
 } // namespace

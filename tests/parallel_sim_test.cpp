@@ -190,6 +190,32 @@ TEST(ParallelFaultSim, MoreThreadsThanFaults) {
     EXPECT_EQ(par.detected_mask, serial.detected_mask);
 }
 
+TEST(ParallelFaultSim, DeterministicAcrossThreadsAndWordWidths) {
+    // The detected bitmap is a pure function of the pattern set: every
+    // (threads, words) combination — scalar oracle included — must agree.
+    Netlist nl = makeCircuit("s344", lib());
+    insertScan(nl);
+    const auto faults = allTransitionFaults(nl);
+    const auto tests = arbitraryPairs(nl, 150, 17);
+
+    FaultSimOptions oracle;
+    oracle.words = 0;
+    const FaultSimResult want = runTransitionFaultSim(nl, tests, faults, oracle);
+    const auto want_counts = countTransitionDetections(nl, tests, faults, oracle);
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const unsigned words : {0u, 1u, 4u, 8u}) {
+            FaultSimOptions opts = threaded(threads);
+            opts.words = words;
+            const FaultSimResult got = runTransitionFaultSim(nl, tests, faults, opts);
+            ASSERT_EQ(got.detected_mask, want.detected_mask)
+                << "threads " << threads << " words " << words;
+            ASSERT_EQ(countTransitionDetections(nl, tests, faults, opts), want_counts)
+                << "threads " << threads << " words " << words;
+        }
+    }
+}
+
 TEST(ParallelFaultSim, StressManyConcurrentRuns) {
     // ThreadSanitizer-friendly stress: repeated short parallel gradings with
     // maximal worker counts over the shared (read-only) netlist, including a

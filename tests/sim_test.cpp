@@ -282,6 +282,44 @@ TEST(PatternSim, ToggleCounting) {
     EXPECT_EQ(sim.totalToggles(), 128u);
 }
 
+TEST(PatternSim, ToggleCountsImmuneToFaultGrading) {
+    // Regression: toggle counting used to keep running while a fault was
+    // injected, so PPSFP grading contaminated the power numbers with faulty
+    // excursions. Counting is now suspended while a fault is active: grading
+    // must leave the counts exactly as a fault-free run of the same stimuli.
+    const Netlist nl = makeS27(lib());
+    Rng rng(1001);
+    const auto src_a = randomSources(nl, rng);
+    const auto src_b = randomSources(nl, rng);
+
+    PatternSim clean(nl);
+    clean.enableToggleCount(true);
+    applySources(clean, src_a);
+    clean.propagate();
+    applySources(clean, src_b);
+    clean.propagate();
+
+    PatternSim graded(nl);
+    graded.enableToggleCount(true);
+    applySources(graded, src_a);
+    graded.propagate();
+    for (const GateId g : {nl.topoOrder()[0], nl.topoOrder()[2]}) {
+        for (const bool sa1 : {false, true}) {
+            FaultSite f;
+            f.net = nl.gate(g).output;
+            f.stuck_at_one = sa1;
+            graded.injectFault(f);
+            graded.propagate();
+            graded.clearFault();
+        }
+    }
+    applySources(graded, src_b);
+    graded.propagate();
+
+    EXPECT_EQ(graded.totalToggles(), clean.totalToggles());
+    EXPECT_EQ(graded.toggleCounts(), clean.toggleCounts());
+}
+
 TEST(PatternSim, XToKnownIsNotAToggle) {
     Netlist nl("t", lib());
     const NetId a = nl.addPi("a");

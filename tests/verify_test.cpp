@@ -285,7 +285,7 @@ TEST(FuzzTest, SmokeSeedsRunClean) {
     const FuzzReport rep = runFuzz(opts);
     ASSERT_TRUE(rep.ok()) << rep.findings.front().check << ": " << rep.findings.front().detail;
     EXPECT_EQ(rep.seeds_run, 6u);
-    EXPECT_EQ(rep.checks_run, 6u * 6u); // six checks per seed
+    EXPECT_EQ(rep.checks_run, 6u * 7u); // seven checks per seed
 }
 
 // ---- shrinker ----------------------------------------------------------
