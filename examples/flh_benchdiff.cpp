@@ -12,9 +12,8 @@
 // runners, while --fail-above R still hard-fails on catastrophic (> R x)
 // slowdowns.
 #include "obs/benchdiff.hpp"
+#include "util/cli.hpp"
 
-#include <charconv>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -42,52 +41,31 @@ constexpr const char* kUsage = R"(usage: flh_benchdiff --baseline DIR --candidat
   --help
 )";
 
-[[noreturn]] void usageError(const std::string& msg) {
-    std::cerr << "flh_benchdiff: " << msg << "\n" << kUsage;
-    std::exit(2);
-}
-
-template <typename T> T parseNum(const std::string& flag, const std::string& s) {
-    T v{};
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-    if (ec != std::errc() || p != s.data() + s.size())
-        usageError("bad value for " + flag + ": '" + s + "'");
-    return v;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_benchdiff", kUsage);
+    cli::CommonFlags common;
+    common.parse_threads = false; // no thread pool here
     std::string baseline_dir;
     std::string candidate_dir;
     std::string json_path = "BENCH_diff.json";
-    std::string out_flag;
     DiffOptions opts;
     bool warn_only = false;
-    bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) usageError("missing value after " + arg);
-            return argv[++i];
-        };
-        if (arg == "--baseline") baseline_dir = next();
-        else if (arg == "--candidate") candidate_dir = next();
-        else if (arg == "--threshold") opts.ratio = parseNum<double>(arg, next());
-        else if (arg == "--fail-above") opts.fail_above = parseNum<double>(arg, next());
-        else if (arg == "--min-time-ns") opts.min_time_ns = parseNum<double>(arg, next());
-        else if (arg == "--json") json_path = next();
-        else if (arg == "--out") out_flag = next();
-        else if (arg == "--warn-only") warn_only = true;
-        else if (arg == "--quiet") quiet = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::cout << kUsage;
-            return 0;
-        } else usageError("unknown option '" + arg + "'");
+    while (scan.next()) {
+        if (common.tryParse(scan)) continue;
+        if (scan.is("--baseline")) baseline_dir = scan.value();
+        else if (scan.is("--candidate")) candidate_dir = scan.value();
+        else if (scan.is("--threshold")) opts.ratio = scan.num<double>();
+        else if (scan.is("--fail-above")) opts.fail_above = scan.num<double>();
+        else if (scan.is("--min-time-ns")) opts.min_time_ns = scan.num<double>();
+        else if (scan.is("--json")) json_path = scan.value();
+        else if (scan.is("--warn-only")) warn_only = true;
+        else scan.unknownOption();
     }
     if (baseline_dir.empty() || candidate_dir.empty())
-        usageError("--baseline and --candidate are both required");
+        scan.usageError("--baseline and --candidate are both required");
 
     std::vector<BenchPoint> base;
     std::vector<BenchPoint> cand;
@@ -109,17 +87,10 @@ int main(int argc, char** argv) {
 
     const DiffReport rep = diffBench(base, cand, opts);
 
-    const std::string path = benchOutPath(json_path, out_flag);
-    {
-        std::ofstream out(path, std::ios::trunc);
-        out << rep.json();
-        if (!out) {
-            std::cerr << "flh_benchdiff: cannot write " << path << "\n";
-            return 2;
-        }
-    }
+    const std::string path = benchOutPath(json_path, common.out_flag);
+    cli::writeFileOrDie("flh_benchdiff", path, rep.json());
 
-    if (!quiet) {
+    if (!common.quiet) {
         std::cout << rep.table().render();
         std::cout << "\n" << rep.rows.size() << " benchmarks compared: "
                   << rep.regressions() << " regressions, " << rep.improvements()

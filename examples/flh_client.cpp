@@ -1,0 +1,413 @@
+// flh_client: load generator and correctness checker for flh_serve.
+//
+//   flh_client --port 7421 --requests 200 --connections 4 --rps 100
+//   flh_client --socket /tmp/flh.sock --manifest load.json --bench-json BENCH_serve.json
+//
+// Replays a request manifest (a JSON array of request templates, cycled
+// round-robin; a built-in flow+ping mix when no --manifest is given)
+// against a running flh_serve, over --connections parallel connections,
+// paced to --rps across all of them (0 = as fast as possible). Every
+// response is checked — id match, ok flag, result shape — and latency is
+// recorded per request. The summary reports achieved requests/sec,
+// p50/p95/p99 latency, the flow cache hit rate, and per-error-code
+// rejection counts; --bench-json writes all of it as a provenance
+// envelope (payload schema flh.bench.serve/1) that flh_benchdiff can gate
+// in CI. --expect-ok / --hit-rate-min turn the run into a pass/fail
+// check; --shutdown stops the server after the run.
+#include "obs/benchio.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace flh;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: flh_client [options]
+  --socket PATH        connect to a Unix domain socket
+  --port N             connect to 127.0.0.1:N
+  --requests N         total requests to send (default 100)
+  --connections N      parallel client connections (default 1)
+  --rps F              target requests/sec across all connections
+                       (default 0 = unpaced)
+  --manifest FILE      JSON array of request templates, e.g.
+                       [{"type":"flow","params":{"circuits":["s27"]}},
+                        {"type":"ping"}] — cycled round-robin
+  --circuits LIST      circuits for the built-in flow template
+                       (default s27,s298)
+  --pairs N            ATPG pairs for the built-in flow template
+                       (default 16)
+  --deadline-ms F      per-request queue-wait deadline (default 0 = none)
+  --retries N          resend budget per request on an overloaded
+                       rejection, honouring retry_after_ms (default 0)
+  --bench-json FILE    write the flh.bench.serve/1 provenance envelope
+                       (honors --out / FLH_BENCH_OUT for bare filenames)
+  --out DIR            output directory for --bench-json
+  --expect-ok          exit 1 if any request ends in an error
+  --hit-rate-min F     exit 1 unless the flow cache hit rate >= F
+  --shutdown           send a shutdown request after the run
+  --quiet              suppress the console summary
+  --help
+)";
+
+struct Template {
+    serve::RequestType type = serve::RequestType::Ping;
+    std::string params_json = "{}";
+    double deadline_ms = 0.0;
+};
+
+struct Tally {
+    std::vector<double> latency_ms; ///< one entry per completed request
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t flow_hits = 0;
+    std::uint64_t flow_misses = 0;
+    std::map<std::string, std::uint64_t> error_codes;
+    std::vector<std::string> failures; ///< first few human-readable failures
+
+    void noteFailure(std::string what) {
+        ++errors;
+        if (failures.size() < 8) failures.push_back(std::move(what));
+    }
+};
+
+std::vector<Template> loadManifest(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read manifest '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const JsonValue doc = parseJson(buf.str());
+    if (doc.kind != JsonValue::Kind::Arr || doc.arr.empty())
+        throw std::runtime_error("manifest '" + path + "' must be a non-empty JSON array");
+    std::vector<Template> out;
+    for (const JsonValue& entry : doc.arr) {
+        if (entry.kind != JsonValue::Kind::Obj)
+            throw std::runtime_error("manifest entries must be objects");
+        Template t;
+        const std::string type = serve::strOr(entry, "type", "");
+        const std::optional<serve::RequestType> rt = serve::requestTypeFromString(type);
+        if (!rt) throw std::runtime_error("manifest entry has unknown type '" + type + "'");
+        t.type = *rt;
+        if (entry.has("params")) t.params_json = serve::canonicalJson(entry.at("params"));
+        t.deadline_ms = serve::numOr(entry, "deadline_ms", 0.0);
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::vector<Template> builtinMix(const std::vector<std::string>& circuits, int pairs) {
+    JsonWriter w;
+    w.beginObject();
+    w.key("circuits");
+    w.beginArray();
+    for (const std::string& c : circuits) w.value(c);
+    w.endArray();
+    w.kv("pairs", pairs);
+    w.endObject();
+    Template flow;
+    flow.type = serve::RequestType::Flow;
+    flow.params_json = w.str();
+    Template ping; // interleaved pings exercise the inline fast path
+    return {flow, ping};
+}
+
+/// Send one request (with its overload-retry budget) and score the reply.
+void runOne(const net::Socket& sock, const Template& t, std::uint64_t id,
+            double default_deadline_ms, unsigned retries, Tally& tally) {
+    serve::Request req;
+    req.id = id;
+    req.type = t.type;
+    req.deadline_ms = t.deadline_ms > 0.0 ? t.deadline_ms : default_deadline_ms;
+    req.params_json = t.params_json;
+    const std::string frame = req.toJson();
+
+    for (unsigned attempt = 0;; ++attempt) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!net::writeFrame(sock, frame))
+            throw std::runtime_error("server closed the connection mid-request");
+        const std::optional<std::string> raw = net::readFrame(sock);
+        if (!raw) throw std::runtime_error("server closed the connection before replying");
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+
+        const serve::ParsedResponse resp = serve::parseResponse(*raw);
+        ++tally.sent;
+        if (resp.id != id) {
+            tally.noteFailure("response id " + std::to_string(resp.id) +
+                              " does not match request id " + std::to_string(id));
+            return;
+        }
+        if (!resp.ok) {
+            ++tally.error_codes[resp.error.code];
+            if (resp.error.code == "overloaded" && attempt < retries) {
+                ++tally.retries;
+                std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                    std::max(1.0, resp.error.retry_after_ms)));
+                continue;
+            }
+            tally.noteFailure("id " + std::to_string(id) + ": " + resp.error.code + ": " +
+                              resp.error.message);
+            return;
+        }
+
+        tally.latency_ms.push_back(ms);
+        ++tally.ok;
+        if (resp.coalesced) ++tally.coalesced;
+        const JsonValue& r = resp.result;
+        if (t.type == serve::RequestType::Ping && !(r.has("pong") && r.at("pong").b)) {
+            --tally.ok;
+            tally.noteFailure("id " + std::to_string(id) + ": ping reply missing pong");
+        } else if (t.type == serve::RequestType::Flow) {
+            tally.flow_hits += static_cast<std::uint64_t>(serve::numOr(r, "hits", 0.0));
+            tally.flow_misses += static_cast<std::uint64_t>(serve::numOr(r, "misses", 0.0));
+            if (serve::numOr(r, "failures", 0.0) > 0.0) {
+                --tally.ok;
+                tally.noteFailure("id " + std::to_string(id) + ": flow reported stage failures");
+            }
+        }
+        return;
+    }
+}
+
+double percentile(std::vector<double> sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_client", kUsage);
+    cli::CommonFlags common;
+    common.parse_threads = false; // parallelism is --connections here
+    std::string socket_path;
+    std::uint16_t port = 0;
+    bool port_set = false;
+    std::uint64_t total_requests = 100;
+    unsigned connections = 1;
+    double rps = 0.0;
+    std::string manifest_path;
+    std::vector<std::string> circuits = {"s27", "s298"};
+    int pairs = 16;
+    double deadline_ms = 0.0;
+    unsigned retries = 0;
+    std::string bench_path;
+    bool expect_ok = false;
+    double hit_rate_min = -1.0;
+    bool send_shutdown = false;
+
+    while (scan.next()) {
+        if (common.tryParse(scan)) continue;
+        if (scan.is("--socket")) socket_path = scan.value();
+        else if (scan.is("--port")) {
+            port = scan.num<std::uint16_t>();
+            port_set = true;
+        }
+        else if (scan.is("--requests")) total_requests = scan.num<std::uint64_t>();
+        else if (scan.is("--connections")) connections = scan.num<unsigned>();
+        else if (scan.is("--rps")) rps = scan.num<double>();
+        else if (scan.is("--manifest")) manifest_path = scan.value();
+        else if (scan.is("--circuits")) circuits = scan.list();
+        else if (scan.is("--pairs")) pairs = scan.num<int>();
+        else if (scan.is("--deadline-ms")) deadline_ms = scan.num<double>();
+        else if (scan.is("--retries")) retries = scan.num<unsigned>();
+        else if (scan.is("--bench-json")) bench_path = scan.value();
+        else if (scan.is("--expect-ok")) expect_ok = true;
+        else if (scan.is("--hit-rate-min")) hit_rate_min = scan.num<double>();
+        else if (scan.is("--shutdown")) send_shutdown = true;
+        else scan.unknownOption();
+    }
+    if (socket_path.empty() && !port_set)
+        scan.usageError("one of --socket or --port is required");
+    if (!socket_path.empty() && port_set)
+        scan.usageError("--socket and --port are mutually exclusive");
+    if (connections == 0) scan.usageError("--connections must be at least 1");
+
+    const net::Endpoint ep = socket_path.empty() ? net::Endpoint::tcpAt(port)
+                                                 : net::Endpoint::unixAt(socket_path);
+
+    std::vector<Template> templates;
+    try {
+        templates = manifest_path.empty() ? builtinMix(circuits, pairs)
+                                          : loadManifest(manifest_path);
+    } catch (const std::exception& e) {
+        std::cerr << "flh_client: " << e.what() << "\n";
+        return 1;
+    }
+
+    // One thread per connection; a shared atomic cursor deals requests out,
+    // and pacing targets the request's global slot so --rps holds across
+    // connections regardless of how work is interleaved.
+    std::atomic<std::uint64_t> cursor{0};
+    std::vector<Tally> tallies(connections);
+    std::vector<std::string> conn_errors(connections);
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                const net::Socket sock = net::connectTo(ep);
+                for (;;) {
+                    const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= total_requests) break;
+                    if (rps > 0.0) {
+                        const auto slot = start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(static_cast<double>(i) / rps));
+                        std::this_thread::sleep_until(slot);
+                    }
+                    runOne(sock, templates[i % templates.size()], i + 1, deadline_ms,
+                           retries, tallies[c]);
+                }
+            } catch (const std::exception& e) {
+                conn_errors[c] = e.what();
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    // Merge the per-connection tallies.
+    Tally all;
+    for (const Tally& t : tallies) {
+        all.sent += t.sent;
+        all.ok += t.ok;
+        all.errors += t.errors;
+        all.retries += t.retries;
+        all.coalesced += t.coalesced;
+        all.flow_hits += t.flow_hits;
+        all.flow_misses += t.flow_misses;
+        all.latency_ms.insert(all.latency_ms.end(), t.latency_ms.begin(), t.latency_ms.end());
+        for (const auto& [code, n] : t.error_codes) all.error_codes[code] += n;
+        for (const std::string& f : t.failures)
+            if (all.failures.size() < 8) all.failures.push_back(f);
+    }
+    bool transport_failed = false;
+    for (unsigned c = 0; c < connections; ++c) {
+        if (conn_errors[c].empty()) continue;
+        transport_failed = true;
+        std::cerr << "flh_client: connection " << c << ": " << conn_errors[c] << "\n";
+    }
+
+    std::sort(all.latency_ms.begin(), all.latency_ms.end());
+    const double p50 = percentile(all.latency_ms, 0.50);
+    const double p95 = percentile(all.latency_ms, 0.95);
+    const double p99 = percentile(all.latency_ms, 0.99);
+    const double achieved_rps = wall_s > 0.0 ? static_cast<double>(all.sent) / wall_s : 0.0;
+    const std::uint64_t flow_total = all.flow_hits + all.flow_misses;
+    const double hit_rate =
+        flow_total > 0 ? static_cast<double>(all.flow_hits) / static_cast<double>(flow_total)
+                       : 0.0;
+
+    if (send_shutdown) {
+        try {
+            const net::Socket sock = net::connectTo(ep);
+            serve::Request req;
+            req.id = total_requests + 1;
+            req.type = serve::RequestType::Shutdown;
+            if (!net::writeFrame(sock, req.toJson()) || !net::readFrame(sock))
+                throw std::runtime_error("no shutdown acknowledgement");
+        } catch (const std::exception& e) {
+            std::cerr << "flh_client: shutdown request failed: " << e.what() << "\n";
+            transport_failed = true;
+        }
+    }
+
+    if (!bench_path.empty()) {
+        // Envelope export: latency samples as a bench entry (so benchdiff
+        // tracks the medians/IQR), plus the serve summary as the legacy
+        // payload under "results".
+        obs::BenchWriter bw("flh.bench.serve/1", connections);
+        obs::BenchEntry lat;
+        lat.name = "serve/request";
+        lat.threads = connections;
+        for (const double ms : all.latency_ms) lat.time_samples.push_back(ms * 1e6);
+        if (achieved_rps > 0.0) lat.ips_samples.push_back(achieved_rps);
+        if (!lat.time_samples.empty()) bw.add(std::move(lat));
+
+        JsonWriter w;
+        w.beginObject();
+        w.kv("schema", "flh.bench.serve/1");
+        w.kv("requests", all.sent);
+        w.kv("ok", all.ok);
+        w.kv("errors", all.errors);
+        w.kv("retries", all.retries);
+        w.kv("coalesced", all.coalesced);
+        w.kv("connections", static_cast<std::uint64_t>(connections));
+        w.kv("target_rps", rps);
+        w.kv("achieved_rps", achieved_rps);
+        w.key("latency_ms");
+        w.beginObject();
+        w.kv("p50", p50);
+        w.kv("p95", p95);
+        w.kv("p99", p99);
+        w.endObject();
+        w.key("flow");
+        w.beginObject();
+        w.kv("hits", all.flow_hits);
+        w.kv("misses", all.flow_misses);
+        w.kv("hit_rate", hit_rate);
+        w.endObject();
+        w.key("error_codes");
+        w.beginObject();
+        for (const auto& [code, n] : all.error_codes) w.kv(code, n);
+        w.endObject();
+        w.endObject();
+        bw.setResults(w.str());
+        cli::writeFileOrDie("flh_client", obs::benchOutPath(bench_path, common.out_flag),
+                            bw.json());
+    }
+
+    if (!common.quiet) {
+        std::cout << all.sent << " requests over " << connections << " connections in "
+                  << fmt(wall_s, 2) << " s (" << fmt(achieved_rps, 1) << " req/s): "
+                  << all.ok << " ok, " << all.errors << " errors, " << all.retries
+                  << " retries, " << all.coalesced << " coalesced\n";
+        std::cout << "latency p50 " << fmt(p50, 2) << " ms, p95 " << fmt(p95, 2)
+                  << " ms, p99 " << fmt(p99, 2) << " ms\n";
+        if (flow_total > 0)
+            std::cout << "flow cache: " << all.flow_hits << " hits / " << flow_total
+                      << " stages (" << fmt(100.0 * hit_rate, 1) << "%)\n";
+        for (const auto& [code, n] : all.error_codes)
+            std::cout << "  " << code << ": " << n << "\n";
+        for (const std::string& f : all.failures) std::cout << "  failure: " << f << "\n";
+        if (!bench_path.empty()) std::cout << "bench: " << bench_path << "\n";
+    }
+
+    if (transport_failed) return 1;
+    if (expect_ok && (all.errors > 0 || all.ok != total_requests)) {
+        std::cerr << "flh_client: --expect-ok: " << all.errors << " errors, " << all.ok
+                  << "/" << total_requests << " ok\n";
+        return 1;
+    }
+    if (hit_rate_min >= 0.0 && hit_rate < hit_rate_min) {
+        std::cerr << "flh_client: flow cache hit rate " << fmt(100.0 * hit_rate, 1)
+                  << "% below required " << fmt(100.0 * hit_rate_min, 1) << "%\n";
+        return 1;
+    }
+    return 0;
+}

@@ -27,13 +27,11 @@
 #include "obs/benchio.hpp"
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 
-#include <memory>
-
-#include <charconv>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,95 +64,55 @@ constexpr const char* kUsage = R"(usage: flh_flow [options]
   --help
 )";
 
-[[noreturn]] void usageError(const std::string& msg) {
-    std::cerr << "flh_flow: " << msg << "\n" << kUsage;
-    std::exit(2);
-}
-
-template <typename T> T parseNum(const std::string& flag, const std::string& s) {
-    T v{};
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-    if (ec != std::errc() || p != s.data() + s.size())
-        usageError("bad value for " + flag + ": '" + s + "'");
-    return v;
-}
-
-void writeFile(const std::string& path, const std::string& bytes) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-        std::cerr << "flh_flow: cannot write " << path << "\n";
-        std::exit(1);
-    }
-    out << bytes;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_flow", kUsage);
+    cli::CommonFlags common;
     std::vector<std::string> circuits = {"s27", "s298"};
     FlowOptions opts;
     PaperFlowConfig cfg;
     std::string report_path = "flow_report.json";
     std::string profile_path = "flow_profile.json";
-    std::string trace_path;
-    std::string metrics_path;
     std::string bench_path;
-    std::string out_flag;
     std::string timeseries_path;
     unsigned sample_ms = 0;
-    double heartbeat_s = 0.0;
     double require_hit_rate = -1.0;
-    bool quiet = false;
     bool sim_threads_set = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) usageError("missing value after " + arg);
-            return argv[++i];
-        };
-        if (arg == "--circuits") circuits = splitTrim(next(), ',');
-        else if (arg == "--threads") opts.threads = parseNum<unsigned>(arg, next());
-        else if (arg == "--sim-threads") {
-            opts.sim_threads = parseNum<unsigned>(arg, next());
+    while (scan.next()) {
+        if (common.tryParse(scan)) continue;
+        if (scan.is("--circuits")) circuits = scan.list();
+        else if (scan.is("--sim-threads")) {
+            opts.sim_threads = scan.num<unsigned>();
             sim_threads_set = true;
         }
-        else if (arg == "--cache-dir") opts.cache_dir = next();
-        else if (arg == "--no-cache") opts.use_cache = false;
-        else if (arg == "--report") report_path = next();
-        else if (arg == "--profile") profile_path = next();
-        else if (arg == "--trace") trace_path = next();
-        else if (arg == "--metrics") metrics_path = next();
-        else if (arg == "--bench-json") bench_path = next();
-        else if (arg == "--out") out_flag = next();
-        else if (arg == "--sample") sample_ms = parseNum<unsigned>(arg, next());
-        else if (arg == "--timeseries") timeseries_path = next();
-        else if (arg == "--heartbeat") heartbeat_s = parseNum<double>(arg, next());
-        else if (arg == "--pairs") cfg.random_pairs = parseNum<int>(arg, next());
-        else if (arg == "--seed") cfg.atpg_seed = parseNum<std::uint64_t>(arg, next());
-        else if (arg == "--require-hit-rate") {
-            // from_chars<double> handles the fraction directly.
-            const std::string v = next();
-            require_hit_rate = parseNum<double>(arg, v);
-        } else if (arg == "--quiet") quiet = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::cout << kUsage;
-            return 0;
-        } else usageError("unknown option '" + arg + "'");
+        else if (scan.is("--cache-dir")) opts.cache_dir = scan.value();
+        else if (scan.is("--no-cache")) opts.use_cache = false;
+        else if (scan.is("--report")) report_path = scan.value();
+        else if (scan.is("--profile")) profile_path = scan.value();
+        else if (scan.is("--bench-json")) bench_path = scan.value();
+        else if (scan.is("--sample")) sample_ms = scan.num<unsigned>();
+        else if (scan.is("--timeseries")) timeseries_path = scan.value();
+        else if (scan.is("--pairs")) cfg.random_pairs = scan.num<int>();
+        else if (scan.is("--seed")) cfg.atpg_seed = scan.num<std::uint64_t>();
+        else if (scan.is("--require-hit-rate")) require_hit_rate = scan.num<double>();
+        else scan.unknownOption();
     }
-    if (circuits.empty()) usageError("empty --circuits list");
+    if (circuits.empty()) scan.usageError("empty --circuits list");
 
     // One --threads flag drives both pools (ExecPolicy everywhere);
     // --sim-threads remains as an explicit override.
-    if (!sim_threads_set) opts.sim_threads = opts.threads;
+    opts.threads = common.threads;
+    if (!sim_threads_set) opts.sim_threads = common.threads;
 
     if (!timeseries_path.empty() && sample_ms == 0)
-        usageError("--timeseries requires --sample MS");
-    if (sample_ms == 0 && heartbeat_s > 0.0) sample_ms = 200;
+        scan.usageError("--timeseries requires --sample MS");
+    if (sample_ms == 0 && common.heartbeat_s > 0.0) sample_ms = 200;
 
     // Telemetry stays compiled in but disabled unless an export was asked
     // for — the deterministic report is identical either way.
-    if (!trace_path.empty() || !metrics_path.empty() || sample_ms > 0) {
+    if (common.wantsTelemetry() || sample_ms > 0) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
     }
@@ -178,8 +136,8 @@ int main(int argc, char** argv) {
     if (sample_ms > 0) {
         obs::SamplerOptions sopts;
         sopts.period_ms = sample_ms;
-        sopts.heartbeat_every_s = heartbeat_s;
-        if (heartbeat_s > 0.0) sopts.heartbeat_out = &std::cerr;
+        sopts.heartbeat_every_s = common.heartbeat_s;
+        if (common.heartbeat_s > 0.0) sopts.heartbeat_out = &std::cerr;
         sampler = std::make_unique<obs::Sampler>(sopts);
         sampler->start();
     }
@@ -188,12 +146,15 @@ int main(int argc, char** argv) {
 
     if (sampler) sampler->stop();
 
-    writeFile(report_path, report.reportJson());
-    writeFile(profile_path, report.profileJson());
-    if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
-    if (!metrics_path.empty()) writeFile(metrics_path, obs::metricsJson());
+    cli::writeFileOrDie("flh_flow", report_path, report.reportJson());
+    cli::writeFileOrDie("flh_flow", profile_path, report.profileJson());
+    if (!common.trace_path.empty())
+        cli::writeFileOrDie("flh_flow", common.trace_path, obs::traceJson());
+    if (!common.metrics_path.empty())
+        cli::writeFileOrDie("flh_flow", common.metrics_path, obs::metricsJson());
     if (sampler && !timeseries_path.empty())
-        writeFile(obs::benchOutPath(timeseries_path, out_flag), sampler->timeseriesJson());
+        cli::writeFileOrDie("flh_flow", obs::benchOutPath(timeseries_path, common.out_flag),
+                            sampler->timeseriesJson());
     if (!bench_path.empty()) {
         // Envelope export: one entry per stage execution plus a whole-run
         // aggregate, with the legacy flh.bench.flow/1 payload under
@@ -213,10 +174,11 @@ int main(int argc, char** argv) {
         total.time_samples.push_back(report.totalWallMs() * 1e6);
         bw.add(std::move(total));
         bw.setResults(report.benchJson());
-        writeFile(obs::benchOutPath(bench_path, out_flag), bw.json());
+        cli::writeFileOrDie("flh_flow", obs::benchOutPath(bench_path, common.out_flag),
+                            bw.json());
     }
 
-    if (!quiet) {
+    if (!common.quiet) {
         std::cout << report.table().render();
         std::cout << "\n" << designs.size() << " designs x " << graph.size() << " stages: "
                   << report.hits() << " cache hits, " << report.misses() << " misses, "
@@ -225,10 +187,10 @@ int main(int argc, char** argv) {
         std::cout << "total stage wall time " << fmt(report.totalWallMs(), 1)
                   << " ms, peak test count " << report.peakTests() << "\n";
         std::cout << "report: " << report_path << "  profile: " << profile_path << "\n";
-        if (!trace_path.empty())
-            std::cout << "trace: " << trace_path << " (" << obs::spanCount() << " spans, "
-                      << obs::laneCount() << " lanes)\n";
-        if (!metrics_path.empty()) std::cout << "metrics: " << metrics_path << "\n";
+        if (!common.trace_path.empty())
+            std::cout << "trace: " << common.trace_path << " (" << obs::spanCount()
+                      << " spans, " << obs::laneCount() << " lanes)\n";
+        if (!common.metrics_path.empty()) std::cout << "metrics: " << common.metrics_path << "\n";
         if (!bench_path.empty()) std::cout << "bench: " << bench_path << "\n";
     }
 

@@ -21,18 +21,15 @@
 #include "obs/benchio.hpp"
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
-#include "util/strings.hpp"
+#include "util/cli.hpp"
 #include "verify/corpus.hpp"
 #include "verify/fuzz.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
 using namespace flh;
@@ -68,28 +65,6 @@ constexpr const char* kUsage = R"(usage: flh_fuzz [options]
   --help
 )";
 
-[[noreturn]] void usageError(const std::string& msg) {
-    std::cerr << "flh_fuzz: " << msg << "\n" << kUsage;
-    std::exit(2);
-}
-
-template <typename T> T parseNum(const std::string& flag, const std::string& s) {
-    T v{};
-    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-    if (ec != std::errc() || p != s.data() + s.size())
-        usageError("bad value for " + flag + ": '" + s + "'");
-    return v;
-}
-
-void writeFile(const std::string& path, const std::string& bytes) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-        std::cerr << "flh_fuzz: cannot write " << path << "\n";
-        std::exit(1);
-    }
-    out << bytes;
-}
-
 int replayCorpus(const std::string& dir, bool quiet) {
     const Library lib = makeDefaultLibrary();
     const std::vector<CorpusEntry> corpus = loadCorpus(dir, lib);
@@ -113,65 +88,43 @@ int replayCorpus(const std::string& dir, bool quiet) {
 } // namespace
 
 int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_fuzz", kUsage);
+    cli::CommonFlags common;
+    common.parse_threads = false; // --threads is a cross-check LIST here
     FuzzOptions opts;
     opts.corpus_dir = "fuzz_corpus";
     std::string check_corpus_dir;
-    std::string trace_path;
-    std::string metrics_path;
-    std::string out_flag;
-    double heartbeat_s = 0.0;
     bool inject_mutant = false;
     std::uint64_t mutant_seed = 1;
-    bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) usageError("missing value after " + arg);
-            return argv[++i];
-        };
-        if (arg == "--seeds") opts.seeds = parseNum<std::size_t>(arg, next());
-        else if (arg == "--start-seed") opts.start_seed = parseNum<std::uint64_t>(arg, next());
-        else if (arg == "--pairs") opts.random_pairs = parseNum<std::size_t>(arg, next());
-        else if (arg == "--atpg-pairs") opts.atpg_pairs = parseNum<std::size_t>(arg, next());
-        else if (arg == "--patterns") opts.stuck_patterns = parseNum<std::size_t>(arg, next());
-        else if (arg == "--max-faults") opts.max_faults = parseNum<std::size_t>(arg, next());
-        else if (arg == "--threads") {
-            opts.thread_counts.clear();
-            for (const std::string& t : splitTrim(next(), ','))
-                opts.thread_counts.push_back(parseNum<unsigned>(arg, t));
-            if (opts.thread_counts.empty()) usageError("empty --threads list");
-        } else if (arg == "--words") {
-            opts.word_widths.clear();
-            for (const std::string& w : splitTrim(next(), ','))
-                opts.word_widths.push_back(parseNum<unsigned>(arg, w));
-            if (opts.word_widths.empty()) usageError("empty --words list");
-        } else if (arg == "--corpus") opts.corpus_dir = next();
-        else if (arg == "--no-shrink") opts.shrink = false;
-        else if (arg == "--keep-going") opts.stop_on_first = false;
-        else if (arg == "--check-corpus") check_corpus_dir = next();
-        else if (arg == "--inject-mutant") inject_mutant = true;
-        else if (arg == "--mutant-seed") mutant_seed = parseNum<std::uint64_t>(arg, next());
-        else if (arg == "--trace") trace_path = next();
-        else if (arg == "--metrics") metrics_path = next();
-        else if (arg == "--out") out_flag = next();
-        else if (arg == "--heartbeat") heartbeat_s = parseNum<double>(arg, next());
-        else if (arg == "--quiet") quiet = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::cout << kUsage;
-            return 0;
-        } else usageError("unknown option '" + arg + "'");
+    while (scan.next()) {
+        if (common.tryParse(scan)) continue;
+        if (scan.is("--seeds")) opts.seeds = scan.num<std::size_t>();
+        else if (scan.is("--start-seed")) opts.start_seed = scan.num<std::uint64_t>();
+        else if (scan.is("--pairs")) opts.random_pairs = scan.num<std::size_t>();
+        else if (scan.is("--atpg-pairs")) opts.atpg_pairs = scan.num<std::size_t>();
+        else if (scan.is("--patterns")) opts.stuck_patterns = scan.num<std::size_t>();
+        else if (scan.is("--max-faults")) opts.max_faults = scan.num<std::size_t>();
+        else if (scan.is("--threads")) opts.thread_counts = scan.numList<unsigned>();
+        else if (scan.is("--words")) opts.word_widths = scan.numList<unsigned>();
+        else if (scan.is("--corpus")) opts.corpus_dir = scan.value();
+        else if (scan.is("--no-shrink")) opts.shrink = false;
+        else if (scan.is("--keep-going")) opts.stop_on_first = false;
+        else if (scan.is("--check-corpus")) check_corpus_dir = scan.value();
+        else if (scan.is("--inject-mutant")) inject_mutant = true;
+        else if (scan.is("--mutant-seed")) mutant_seed = scan.num<std::uint64_t>();
+        else scan.unknownOption();
     }
 
-    if (!trace_path.empty() || !metrics_path.empty() || heartbeat_s > 0.0) {
+    if (common.wantsTelemetry()) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
     }
 
     std::unique_ptr<obs::Sampler> sampler;
-    if (heartbeat_s > 0.0) {
+    if (common.heartbeat_s > 0.0) {
         obs::SamplerOptions sopts;
-        sopts.heartbeat_every_s = heartbeat_s;
+        sopts.heartbeat_every_s = common.heartbeat_s;
         sopts.heartbeat_out = &std::cerr;
         sampler = std::make_unique<obs::Sampler>(sopts);
         sampler->start();
@@ -182,7 +135,7 @@ int main(int argc, char** argv) {
     int exit_code = 0;
     if (!check_corpus_dir.empty()) {
         try {
-            exit_code = replayCorpus(check_corpus_dir, quiet);
+            exit_code = replayCorpus(check_corpus_dir, common.quiet);
         } catch (const std::exception& e) {
             std::cerr << "flh_fuzz: " << e.what() << "\n";
             exit_code = 1;
@@ -192,7 +145,7 @@ int main(int argc, char** argv) {
         const FuzzReport rep = runFuzz(opts);
         checks_run = rep.checks_run;
 
-        if (!quiet) {
+        if (!common.quiet) {
             std::cout << rep.seeds_run << " seeds, " << rep.checks_run << " checks, "
                       << rep.findings.size() << " findings\n";
             for (const FuzzFinding& f : rep.findings) {
@@ -207,7 +160,7 @@ int main(int argc, char** argv) {
             const bool caught = std::any_of(
                 rep.findings.begin(), rep.findings.end(),
                 [](const FuzzFinding& f) { return f.check == "dft-equivalence"; });
-            if (!quiet)
+            if (!common.quiet)
                 std::cout << "mutant " << (caught ? "caught" : "NOT caught") << " within "
                           << rep.seeds_run << " seeds\n";
             exit_code = caught ? 0 : 1;
@@ -221,8 +174,9 @@ int main(int argc, char** argv) {
             .count();
     if (sampler) sampler->stop();
 
-    if (!trace_path.empty()) writeFile(trace_path, obs::traceJson());
-    if (!metrics_path.empty()) {
+    if (!common.trace_path.empty())
+        cli::writeFileOrDie("flh_fuzz", common.trace_path, obs::traceJson());
+    if (!common.metrics_path.empty()) {
         // Envelope export: the flat flh.obs.metrics payload nests under
         // "results", plus one whole-run entry so flh_benchdiff can track
         // fuzz throughput across builds.
@@ -235,7 +189,8 @@ int main(int argc, char** argv) {
             e.ips_samples.push_back(static_cast<double>(checks_run) / (wall_ns / 1e9));
         bw.add(std::move(e));
         bw.setResults(obs::metricsJson());
-        writeFile(obs::benchOutPath(metrics_path, out_flag), bw.json());
+        cli::writeFileOrDie("flh_fuzz", obs::benchOutPath(common.metrics_path, common.out_flag),
+                            bw.json());
     }
     return exit_code;
 }

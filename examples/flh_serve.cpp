@@ -1,0 +1,136 @@
+// flh_serve: the flow engine as a long-lived local service.
+//
+//   flh_serve --socket /tmp/flh.sock --threads 0
+//   flh_serve --port 7421 --queue 128 --sample 200
+//
+// One warm process owns the design/graph memos and a single .flowcache/
+// cone; clients speak the length-prefixed JSON protocol (ping / flow /
+// fuzz / equiv / metrics / shutdown — see src/serve/protocol.hpp) over a
+// Unix domain socket or loopback TCP. Compatible concurrent flow requests
+// coalesce into one cache cone; a bounded admission queue rejects overload
+// with structured retry-after errors; every request gets a trace id that
+// threads through the telemetry lanes.
+//
+// The process runs until a shutdown request or SIGINT/SIGTERM, then writes
+// the --trace/--metrics exports (telemetry spans all requests served) and
+// prints a final stats line. flh_client is the matching load generator.
+#include "obs/telemetry.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+using namespace flh;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: flh_serve [options]
+  --socket PATH        listen on a Unix domain socket at PATH
+  --port N             listen on 127.0.0.1:N (0 = kernel-assigned; printed
+                       on startup). Default when --socket is absent: port 0
+  --threads N          worker pool width; 0 = one per hardware thread
+                       (default 0)
+  --queue N            admission queue bound (default 64)
+  --deadline-ms F      default queue-wait deadline for requests that carry
+                       none (default 0 = none)
+  --cache-dir DIR      flow result cache directory (default .flowcache)
+  --no-cache           flow stages recompute every time
+  --sample MS          run the metrics sampler at MS cadence; metrics
+                       responses then include the time-series
+  --trace FILE         write a Chrome trace_event JSON on exit (enables
+                       telemetry; spans carry per-request trace ids)
+  --metrics FILE       write flat telemetry metrics on exit (enables
+                       telemetry)
+  --quiet              suppress startup/summary lines
+  --help
+)";
+
+} // namespace
+
+int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_serve", kUsage);
+    cli::CommonFlags common;
+    common.threads = 0; // service default: one worker per hardware thread
+    serve::ServeOptions opts;
+    std::string socket_path;
+    bool port_set = false;
+    std::uint16_t port = 0;
+    unsigned sample_ms = 0;
+
+    while (scan.next()) {
+        if (common.tryParse(scan)) continue;
+        if (scan.is("--socket")) socket_path = scan.value();
+        else if (scan.is("--port")) {
+            port = scan.num<std::uint16_t>();
+            port_set = true;
+        }
+        else if (scan.is("--queue")) opts.queue_limit = scan.num<std::size_t>();
+        else if (scan.is("--deadline-ms")) opts.default_deadline_ms = scan.num<double>();
+        else if (scan.is("--cache-dir")) opts.flow.cache_dir = scan.value();
+        else if (scan.is("--no-cache")) opts.flow.use_cache = false;
+        else if (scan.is("--sample")) sample_ms = scan.num<unsigned>();
+        else scan.unknownOption();
+    }
+    if (!socket_path.empty() && port_set)
+        scan.usageError("--socket and --port are mutually exclusive");
+
+    opts.workers = common.threads;
+    opts.sampler_period_ms = sample_ms;
+    opts.endpoint = socket_path.empty() ? net::Endpoint::tcpAt(port)
+                                        : net::Endpoint::unixAt(socket_path);
+
+    if (common.wantsTelemetry() || sample_ms > 0) {
+        obs::setEnabled(true);
+        obs::setThreadLabel("main");
+    }
+
+    // SIGINT/SIGTERM stop the server cleanly: the signals are blocked on
+    // every thread and consumed by a dedicated sigwait thread (a plain
+    // handler could not safely call requestStop, which takes locks).
+    sigset_t stop_signals;
+    sigemptyset(&stop_signals);
+    sigaddset(&stop_signals, SIGINT);
+    sigaddset(&stop_signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+
+    serve::Server server(opts);
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::cerr << "flh_serve: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::thread signal_thread([&] {
+        int sig = 0;
+        sigwait(&stop_signals, &sig);
+        server.requestStop();
+    });
+
+    if (!common.quiet) {
+        std::cout << "flh_serve: listening on " << server.boundEndpoint().describe()
+                  << std::endl; // flushed so wrappers can scrape the port
+    }
+
+    server.waitUntilStopped();
+    // Unblock the signal thread if the stop came from a shutdown request.
+    pthread_kill(signal_thread.native_handle(), SIGTERM);
+    signal_thread.join();
+
+    if (!common.trace_path.empty())
+        cli::writeFileOrDie("flh_serve", common.trace_path, obs::traceJson());
+    if (!common.metrics_path.empty())
+        cli::writeFileOrDie("flh_serve", common.metrics_path, obs::metricsJson());
+
+    if (!common.quiet) {
+        const serve::StatsSnapshot s = server.stats();
+        std::cout << "flh_serve: " << s.connections << " connections, " << s.ok << " ok, "
+                  << s.errors << " errors (" << s.rejected_overload << " overload, "
+                  << s.rejected_deadline << " deadline, " << s.rejected_shutdown
+                  << " shutdown), " << s.coalesced << " coalesced, " << s.batched
+                  << " batched\n";
+    }
+    return 0;
+}

@@ -71,46 +71,75 @@ Sampler::Sampler(SamplerOptions opts) : opts_(std::move(opts)) {
     if (opts_.period_ms == 0) opts_.period_ms = 1;
 }
 
-Sampler::~Sampler() { stop(); }
+Sampler::~Sampler() {
+    stop();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
 
 void Sampler::start() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (running_) return;
-    running_ = true;
+    if (shutdown_) return;
+    if (running_ && !stop_requested_) return; // already sampling
+    // A restart racing a still-completing stop() (final sample in flight)
+    // waits it out, then re-arms with a clean series: replaying the
+    // previous activation's samples — its final sample in particular —
+    // into the new series would double-count the boundary.
+    cv_.wait(lock, [this] { return !running_; });
+    samples_.clear();
+    heartbeats_ = 0;
     stop_requested_ = false;
     start_us_ = nowUs();
     last_heartbeat_us_ = start_us_;
     hb_prev_ = MetricsSample{};
     hb_prev_.ts_us = start_us_;
-    thread_ = std::thread([this] { run(); });
+    running_ = true;
+    if (!thread_.joinable()) thread_ = std::thread([this] { run(); });
+    cv_.notify_all();
 }
 
 void Sampler::stop() {
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (!running_) return;
-        stop_requested_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
     std::unique_lock<std::mutex> lock(mu_);
-    running_ = false;
+    if (!running_) return;
+    stop_requested_ = true;
+    cv_.notify_all();
+    // The sampler thread takes the final sample, then clears running_.
+    cv_.wait(lock, [this] { return !running_; });
 }
 
 void Sampler::run() {
-    setThreadLabel("obs-sampler");
     std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_requested_) {
-        cv_.wait_for(lock, std::chrono::milliseconds(opts_.period_ms),
-                     [this] { return stop_requested_; });
-        if (stop_requested_) break;
+    for (;;) {
+        cv_.wait(lock, [this] { return shutdown_ || running_; });
+        if (shutdown_) return;
+        // One activation. The lane label is re-asserted each time because
+        // telemetry may have been enabled between activations (no-op when
+        // disabled, idempotent on the persistent thread's single lane).
         lock.unlock();
+        setThreadLabel("obs-sampler");
+        lock.lock();
+        while (!stop_requested_ && !shutdown_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(opts_.period_ms),
+                         [this] { return stop_requested_ || shutdown_; });
+            if (stop_requested_ || shutdown_) break;
+            lock.unlock();
+            sampleOnce();
+            lock.lock();
+        }
+        lock.unlock();
+        // Exactly one final sample per activation, so the series closes on
+        // the run's last counter values.
         sampleOnce();
         lock.lock();
+        running_ = false;
+        stop_requested_ = false;
+        cv_.notify_all();
+        if (shutdown_) return;
     }
-    lock.unlock();
-    // Final sample so the series closes on the run's last counter values.
-    sampleOnce();
 }
 
 void Sampler::sampleOnce() {

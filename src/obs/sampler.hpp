@@ -48,19 +48,28 @@ struct MetricsSample {
     std::map<std::string, double> values; ///< counters + gauges by name
 };
 
+/// Start/stop is reusable: one Sampler may bracket several runs. The
+/// background thread is persistent across restarts (spawned on the first
+/// start(), joined in the destructor), so every activation records onto
+/// the same "obs-sampler" trace lane instead of leaking one stale lane per
+/// restart, and each start() begins a fresh sample series — the previous
+/// activation's final sample is not replayed into the new one.
 class Sampler {
 public:
     explicit Sampler(SamplerOptions opts = {});
-    ~Sampler(); ///< stops (joins) if still running
+    ~Sampler(); ///< stops (final sample included) and joins
 
     Sampler(const Sampler&) = delete;
     Sampler& operator=(const Sampler&) = delete;
 
-    /// Launch the background thread. No-op if already running.
+    /// Begin a sampling activation on the persistent background thread
+    /// (spawned on first use). No-op if already running; a start racing a
+    /// still-completing stop() waits for that stop to finish first.
     void start();
 
-    /// Stop and join; the thread takes one final sample on the way out, so
-    /// the series always ends with the run's closing counter values.
+    /// Stop sampling and wait until the thread has taken exactly one final
+    /// sample, so the series always ends with the run's closing counter
+    /// values. The thread stays parked for a future start().
     void stop();
 
     [[nodiscard]] bool running() const;
@@ -82,9 +91,10 @@ private:
     SamplerOptions opts_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
-    std::thread thread_;
+    std::thread thread_; ///< persistent; parked between activations
     bool running_ = false;
     bool stop_requested_ = false;
+    bool shutdown_ = false; ///< destructor: thread exits for good
     std::vector<MetricsSample> samples_;
     std::size_t heartbeats_ = 0;
     double start_us_ = 0.0;

@@ -24,6 +24,7 @@ using Clock = std::chrono::steady_clock;
 struct SpanEvent {
     std::string name;
     std::string cat;
+    std::string trace_id; ///< request attribution (args.trace_id); may be empty
     double ts_us = 0.0;
     double dur_us = 0.0;
     char ph = 'X';
@@ -150,6 +151,23 @@ void setThreadLabel(std::string label) {
     lane.label = std::move(label);
 }
 
+namespace {
+thread_local std::string t_trace_id;
+} // namespace
+
+void setTraceId(std::string id) {
+#if FLH_OBS_COMPILED_IN
+    // Setting is gated on enabled() like every hook; clearing always works
+    // so a request scope never leaks its id past a mid-request disable.
+    if (!id.empty() && !enabled()) return;
+    t_trace_id = std::move(id);
+#else
+    (void)id;
+#endif
+}
+
+const std::string& currentTraceId() noexcept { return t_trace_id; }
+
 double nowUs() noexcept {
     return std::chrono::duration<double, std::micro>(Clock::now() - processEpoch()).count();
 }
@@ -160,6 +178,7 @@ ScopedSpan::ScopedSpan(std::string name, std::string category) {
     if (!enabled()) return;
     name_ = std::move(name);
     cat_ = std::move(category);
+    trace_id_ = t_trace_id; // request attribution travels with the span
     start_us_ = nowUs();
 }
 
@@ -168,14 +187,27 @@ ScopedSpan::~ScopedSpan() {
     const double end_us = nowUs();
     Lane& lane = myLane();
     std::lock_guard<std::mutex> lock(lane.mu);
-    lane.events.push_back(
-        SpanEvent{std::move(name_), std::move(cat_), start_us_, end_us - start_us_});
+    lane.events.push_back(SpanEvent{std::move(name_), std::move(cat_), std::move(trace_id_),
+                                    start_us_, end_us - start_us_});
+}
+
+ScopedTraceId::ScopedTraceId(std::string id) {
+    if (!enabled()) return;
+    prev_ = t_trace_id;
+    active_ = true;
+    t_trace_id = std::move(id);
+}
+
+ScopedTraceId::~ScopedTraceId() {
+    if (active_) t_trace_id = std::move(prev_);
 }
 
 #else
 
 ScopedSpan::ScopedSpan(std::string, std::string) {}
 ScopedSpan::~ScopedSpan() = default;
+ScopedTraceId::ScopedTraceId(std::string) {}
+ScopedTraceId::~ScopedTraceId() = default;
 
 #endif
 
@@ -253,6 +285,12 @@ std::string traceJson() {
                 w.kv("dur", e.dur_us);
                 w.kv("pid", 1);
                 w.kv("tid", static_cast<std::int64_t>(lane->id));
+                if (!e.trace_id.empty()) {
+                    w.key("args");
+                    w.beginObject();
+                    w.kv("trace_id", e.trace_id);
+                    w.endObject();
+                }
             }
             w.endObject();
         }

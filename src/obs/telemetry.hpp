@@ -131,6 +131,34 @@ void recordCounterSample(std::string name, double value);
 /// lanes export as "thread-<lane>". No-op while disabled.
 void setThreadLabel(std::string label);
 
+/// Thread-local request trace id. While set, every span the calling
+/// thread records carries it into the trace export as args.trace_id —
+/// which is how flh_serve threads one request's identity through the
+/// shared worker lanes (a lane interleaves many requests; the trace id is
+/// what groups one request's spans back together). Empty clears. No-op
+/// while disabled, like every other hook.
+void setTraceId(std::string id);
+
+/// The calling thread's current trace id ("" when none is set).
+[[nodiscard]] const std::string& currentTraceId() noexcept;
+
+/// RAII trace-id scope: sets on construction, restores the previous id on
+/// destruction — the per-request bracket for serve worker threads.
+class ScopedTraceId {
+public:
+    explicit ScopedTraceId(std::string id);
+    ~ScopedTraceId();
+
+    ScopedTraceId(const ScopedTraceId&) = delete;
+    ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+private:
+#if FLH_OBS_COMPILED_IN
+    std::string prev_;
+    bool active_ = false;
+#endif
+};
+
 /// RAII span: construction stamps the start, destruction records the
 /// completed interval into the calling thread's lane. A span constructed
 /// while telemetry is disabled records nothing even if telemetry is
@@ -148,6 +176,7 @@ private:
 #if FLH_OBS_COMPILED_IN
     std::string name_;
     std::string cat_;
+    std::string trace_id_; ///< captured from the thread at construction
     double start_us_ = -1.0; ///< < 0: inactive (telemetry was disabled)
 #endif
 };

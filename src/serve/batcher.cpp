@@ -1,0 +1,47 @@
+#include "serve/batcher.hpp"
+
+namespace flh::serve {
+
+SingleFlight::Outcome SingleFlight::run(const std::string& key,
+                                        const std::function<std::string()>& fn) {
+    std::shared_ptr<Flight> flight;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            // Follower: wait out the leader, share its result.
+            flight = it->second;
+            cv_.wait(lock, [&] { return flight->done; });
+            if (flight->error) std::rethrow_exception(flight->error);
+            return Outcome{flight->value, true};
+        }
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+    }
+
+    // Leader: run outside the lock. Followers hold the Flight by
+    // shared_ptr, so erasing the map entry before they wake is safe.
+    try {
+        std::string value = fn();
+        std::unique_lock<std::mutex> lock(mu_);
+        flight->value = std::move(value);
+        flight->done = true;
+        flights_.erase(key);
+        cv_.notify_all();
+        return Outcome{flight->value, false};
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        flight->error = std::current_exception();
+        flight->done = true;
+        flights_.erase(key);
+        cv_.notify_all();
+        throw;
+    }
+}
+
+std::size_t SingleFlight::inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flights_.size();
+}
+
+} // namespace flh::serve

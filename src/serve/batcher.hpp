@@ -1,0 +1,52 @@
+// Single-flight request coalescing.
+//
+// When several serve workers would compute the same canonical request at
+// the same time, exactly one of them (the leader) should do the work; the
+// others (followers) wait and share the leader's rendered result. Keyed on
+// the canonical request content (protocol.hpp's canonicalJson, so key
+// order and whitespace differences coalesce too), this is the concurrent
+// half of the "compatible requests share one cache cone" rule — the
+// queued half is the flow batch absorption in server.cpp, which merges
+// still-queued compatible jobs into the leader's cone before it runs.
+//
+// A leader that throws propagates the same exception to every follower of
+// that flight; the next request with the key starts a fresh flight.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace flh::serve {
+
+class SingleFlight {
+public:
+    struct Outcome {
+        std::string value;     ///< the leader's produced value
+        bool coalesced = false; ///< true when this caller was a follower
+    };
+
+    /// Run `fn` for the first caller holding `key`; concurrent callers
+    /// with an equal key block until the leader finishes and receive the
+    /// leader's value (or rethrow its exception).
+    [[nodiscard]] Outcome run(const std::string& key, const std::function<std::string()>& fn);
+
+    /// Flights currently in progress (metrics export).
+    [[nodiscard]] std::size_t inflight() const;
+
+private:
+    struct Flight {
+        bool done = false;
+        std::string value;
+        std::exception_ptr error;
+    };
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+} // namespace flh::serve

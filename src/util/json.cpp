@@ -135,10 +135,16 @@ const JsonValue& JsonValue::at(const std::string& k) const {
 namespace {
 
 /// Recursive-descent reader over the subset our writer emits (which is
-/// plain JSON, so arbitrary conforming documents parse too).
+/// plain JSON, so arbitrary conforming documents parse too). Hardened for
+/// untrusted input (the serve wire protocol feeds it raw client bytes):
+/// nesting depth, string length, and number length are bounded by
+/// JsonLimits, strings must be valid UTF-8 with no raw control bytes, and
+/// numbers follow the strict JSON grammar through std::from_chars — no
+/// locale, no exceptions other than the positioned std::runtime_error.
 class JsonReader {
 public:
-    explicit JsonReader(std::string_view text) : s_(text) {}
+    JsonReader(std::string_view text, const JsonLimits& limits)
+        : s_(text), limits_(limits) {}
 
     JsonValue parseDocument() {
         JsonValue v = parseValue();
@@ -149,12 +155,37 @@ public:
 
 private:
     std::string_view s_;
+    JsonLimits limits_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 
     [[noreturn]] void fail(const std::string& why) const {
+        // Positioning: byte offset plus 1-based line:column, computed only
+        // on the failure path so the happy path never pays for it.
+        std::size_t line = 1;
+        std::size_t col = 1;
+        for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+            if (s_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
         throw std::runtime_error("json parse error at byte " + std::to_string(pos_) +
-                                 ": " + why);
+                                 " (line " + std::to_string(line) + ", col " +
+                                 std::to_string(col) + "): " + why);
     }
+
+    /// RAII nesting guard: every container level checks the depth budget.
+    struct DepthGuard {
+        JsonReader& r;
+        explicit DepthGuard(JsonReader& reader) : r(reader) {
+            if (++r.depth_ > r.limits_.max_depth)
+                r.fail("nesting deeper than " + std::to_string(r.limits_.max_depth));
+        }
+        ~DepthGuard() { --r.depth_; }
+    };
     void skipWs() {
         while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
             ++pos_;
@@ -210,6 +241,35 @@ private:
         return v;
     }
 
+    /// Continuation-byte check for the UTF-8 validator below.
+    [[nodiscard]] bool continuation(std::size_t i) const noexcept {
+        return i < s_.size() && (static_cast<unsigned char>(s_[i]) & 0xc0) == 0x80;
+    }
+
+    /// Validate (and copy) one non-ASCII UTF-8 sequence starting at the
+    /// current byte. Rejects truncated sequences, bare continuation bytes,
+    /// overlong forms' lead bytes (0xc0/0xc1), and anything past U+10FFFF
+    /// (lead bytes above 0xf4) — enough to keep the serve protocol from
+    /// echoing malformed bytes back into otherwise-valid JSON responses.
+    void consumeUtf8Tail(std::string& out, unsigned char lead) {
+        std::size_t extra = 0;
+        if (lead >= 0xc2 && lead <= 0xdf) extra = 1;
+        else if (lead >= 0xe0 && lead <= 0xef) extra = 2;
+        else if (lead >= 0xf0 && lead <= 0xf4) extra = 3;
+        else {
+            --pos_; // point the error at the offending byte
+            fail("invalid UTF-8 byte in string");
+        }
+        for (std::size_t i = 0; i < extra; ++i) {
+            if (!continuation(pos_ + i)) {
+                pos_ += i;
+                fail("truncated UTF-8 sequence in string");
+            }
+        }
+        out.append(s_.substr(pos_ - 1, extra + 1));
+        pos_ += extra;
+    }
+
     std::string parseString() {
         expect('"');
         std::string out;
@@ -217,6 +277,9 @@ private:
             if (pos_ >= s_.size()) fail("unterminated string");
             const char c = s_[pos_++];
             if (c == '"') break;
+            if (out.size() >= limits_.max_string_bytes)
+                fail("string longer than " + std::to_string(limits_.max_string_bytes) +
+                     " bytes");
             if (c == '\\') {
                 if (pos_ >= s_.size()) fail("unterminated escape");
                 const char e = s_[pos_++];
@@ -231,6 +294,11 @@ private:
                 case 't': out += '\t'; break;
                 case 'u': {
                     if (pos_ + 4 > s_.size()) fail("short \\u escape");
+                    for (std::size_t i = 0; i < 4; ++i)
+                        if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                            pos_ += i;
+                            fail("non-hex digit in \\u escape");
+                        }
                     // Our writer only \u-escapes control bytes; keep raw hex.
                     out += "\\u";
                     out += s_.substr(pos_, 4);
@@ -239,29 +307,52 @@ private:
                 }
                 default: fail("bad escape");
                 }
-            } else {
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                --pos_;
+                fail("raw control byte in string (must be escaped)");
+            } else if (static_cast<unsigned char>(c) < 0x80) {
                 out += c;
+            } else {
+                consumeUtf8Tail(out, static_cast<unsigned char>(c));
             }
         }
         return out;
     }
 
     JsonValue parseNumber() {
+        // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
         const std::size_t start = pos_;
-        if (consume('-')) {
-        }
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+        consume('-');
+        const auto digits = [&]() -> std::size_t {
+            std::size_t n = 0;
+            while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (pos_ < s_.size() && s_[pos_] == '0') ++pos_; // no leading zeros
+        else if (digits() == 0) fail("bad number");
+        if (consume('.') && digits() == 0) fail("bad number: digits required after '.'");
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
             ++pos_;
-        if (pos_ == start) fail("bad number");
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+            if (digits() == 0) fail("bad number: digits required in exponent");
+        }
+        if (pos_ - start > limits_.max_number_chars)
+            fail("number longer than " + std::to_string(limits_.max_number_chars) +
+                 " chars");
         JsonValue v;
         v.kind = JsonValue::Kind::Num;
-        v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+        const auto [p, ec] = std::from_chars(s_.data() + start, s_.data() + pos_, v.num);
+        if (ec == std::errc::result_out_of_range)
+            fail("number out of double range");
+        if (ec != std::errc() || p != s_.data() + pos_) fail("bad number");
         return v;
     }
 
     JsonValue parseArray() {
+        DepthGuard depth(*this);
         expect('[');
         JsonValue v;
         v.kind = JsonValue::Kind::Arr;
@@ -277,6 +368,7 @@ private:
     }
 
     JsonValue parseObject() {
+        DepthGuard depth(*this);
         expect('{');
         JsonValue v;
         v.kind = JsonValue::Kind::Obj;
@@ -298,6 +390,8 @@ private:
 
 } // namespace
 
-JsonValue parseJson(std::string_view text) { return JsonReader(text).parseDocument(); }
+JsonValue parseJson(std::string_view text, const JsonLimits& limits) {
+    return JsonReader(text, limits).parseDocument();
+}
 
 } // namespace flh

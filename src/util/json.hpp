@@ -108,8 +108,22 @@ struct JsonValue {
     [[nodiscard]] bool has(const std::string& k) const { return obj.count(k) > 0; }
 };
 
+/// Resource bounds for parseJson. The defaults are generous enough for
+/// every export this repository writes (bench envelopes, traces,
+/// time-series); the serve wire protocol passes tighter limits because its
+/// input is untrusted. A violated limit throws std::runtime_error with the
+/// same byte/line/column positioning as a syntax error.
+struct JsonLimits {
+    std::size_t max_depth = 256;             ///< nesting depth (arrays + objects)
+    std::size_t max_string_bytes = 1u << 26; ///< decoded bytes per string (64 MiB)
+    std::size_t max_number_chars = 128;      ///< source chars per number token
+};
+
 /// Parse one JSON document (trailing whitespace allowed, nothing else).
-/// Throws std::runtime_error with a byte offset on malformed input.
-[[nodiscard]] JsonValue parseJson(std::string_view text);
+/// Throws std::runtime_error naming the byte offset plus line:column on
+/// malformed input, invalid UTF-8, raw control bytes inside strings, or a
+/// violated limit. Safe on untrusted input: nesting depth is bounded (no
+/// unbounded recursion) and numbers parse without locale or exceptions.
+[[nodiscard]] JsonValue parseJson(std::string_view text, const JsonLimits& limits = {});
 
 } // namespace flh

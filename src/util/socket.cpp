@@ -1,0 +1,200 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace flh::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::shutdownBoth() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::shutdownRead() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+std::string Endpoint::describe() const {
+    if (!unix_path.empty()) return "unix:" + unix_path;
+    return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+Socket listenOn(const Endpoint& ep, int backlog) {
+    if (!ep.unix_path.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (ep.unix_path.size() >= sizeof addr.sun_path)
+            throw std::runtime_error("net: unix socket path too long: " + ep.unix_path);
+        std::strncpy(addr.sun_path, ep.unix_path.c_str(), sizeof addr.sun_path - 1);
+
+        Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!s.valid()) fail("socket(AF_UNIX)");
+        ::unlink(ep.unix_path.c_str()); // stale file from a previous run
+        if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+            fail("bind " + ep.unix_path);
+        if (::listen(s.fd(), backlog) != 0) fail("listen " + ep.unix_path);
+        return s;
+    }
+
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) fail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ep.port);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+        fail("bind 127.0.0.1:" + std::to_string(ep.port));
+    if (::listen(s.fd(), backlog) != 0) fail("listen port " + std::to_string(ep.port));
+    return s;
+}
+
+std::uint16_t boundPort(const Socket& listener) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        fail("getsockname");
+    if (addr.sin_family != AF_INET)
+        throw std::runtime_error("net: boundPort on a non-TCP listener");
+    return ntohs(addr.sin_port);
+}
+
+std::optional<Socket> acceptOn(const Socket& listener) {
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) return Socket(fd);
+        if (errno == EINTR) continue;
+        // The clean stop path: the listener was shut down or closed under
+        // us. Anything else is a real error.
+        if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) return std::nullopt;
+        fail("accept");
+    }
+}
+
+Socket connectTo(const Endpoint& ep) {
+    if (!ep.unix_path.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (ep.unix_path.size() >= sizeof addr.sun_path)
+            throw std::runtime_error("net: unix socket path too long: " + ep.unix_path);
+        std::strncpy(addr.sun_path, ep.unix_path.c_str(), sizeof addr.sun_path - 1);
+        Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!s.valid()) fail("socket(AF_UNIX)");
+        if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+            fail("connect " + ep.unix_path);
+        return s;
+    }
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) fail("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ep.port);
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+        fail("connect 127.0.0.1:" + std::to_string(ep.port));
+    return s;
+}
+
+bool writeAll(const Socket& s, std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(s.fd(), bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+        fail("send");
+    }
+    return true;
+}
+
+bool readExact(const Socket& s, std::string& out, std::size_t n) {
+    out.resize(n);
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t got = ::recv(s.fd(), out.data() + off, n - off, 0);
+        if (got > 0) {
+            off += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR) continue;
+        if (got == 0 || (got < 0 && errno == ECONNRESET)) {
+            if (off == 0) return false; // clean EOF at a frame boundary
+            throw std::runtime_error("net: peer closed mid-frame (" +
+                                     std::to_string(off) + "/" + std::to_string(n) +
+                                     " bytes)");
+        }
+        fail("recv");
+    }
+    return true;
+}
+
+bool writeFrame(const Socket& s, std::string_view payload) {
+    if (payload.size() > kMaxFramePayload)
+        throw std::runtime_error("net: frame payload exceeds " +
+                                 std::to_string(kMaxFramePayload) + " bytes");
+    char header[4];
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    header[0] = static_cast<char>((len >> 24) & 0xff);
+    header[1] = static_cast<char>((len >> 16) & 0xff);
+    header[2] = static_cast<char>((len >> 8) & 0xff);
+    header[3] = static_cast<char>(len & 0xff);
+    // One send for header + payload keeps small frames in one packet.
+    std::string buf;
+    buf.reserve(4 + payload.size());
+    buf.append(header, 4);
+    buf.append(payload);
+    return writeAll(s, buf);
+}
+
+std::optional<std::string> readFrame(const Socket& s, std::size_t max_payload) {
+    std::string header;
+    if (!readExact(s, header, 4)) return std::nullopt;
+    const std::uint32_t len = (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+                              (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+                              (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+                              static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+    if (len > max_payload)
+        throw std::runtime_error("net: frame length " + std::to_string(len) +
+                                 " exceeds limit " + std::to_string(max_payload));
+    std::string payload;
+    if (len > 0 && !readExact(s, payload, len))
+        throw std::runtime_error("net: peer closed before frame payload");
+    return payload;
+}
+
+} // namespace flh::net

@@ -1,0 +1,99 @@
+// Minimal socket + frame transport for the serve protocol.
+//
+// The flh_serve daemon and its clients speak length-prefixed JSON over a
+// local stream socket — a Unix domain socket by default (no port
+// allocation, filesystem permissions for free) or loopback TCP when a
+// port is asked for. This layer owns exactly the byte transport:
+//
+//   frame := u32 payload length (big-endian) ++ payload bytes
+//
+// Nothing here parses JSON; protocol.hpp builds on readFrame/writeFrame.
+// All calls are blocking, EINTR-retried, and SIGPIPE-free (MSG_NOSIGNAL);
+// a peer disconnect surfaces as a clean "closed" result, every other
+// failure throws std::system_error-style std::runtime_error with errno
+// text. readFrame enforces a caller-chosen maximum payload size so a
+// hostile or corrupt length prefix cannot trigger an unbounded
+// allocation — the admission-control story starts at the first byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flh::net {
+
+/// Move-only owned file descriptor. Closing is idempotent; the destructor
+/// closes. shutdownBoth() unblocks a peer (or own) blocking read without
+/// racing fd reuse the way close() would.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+    void close() noexcept;
+    void shutdownBoth() noexcept; ///< ::shutdown(SHUT_RDWR); ignores errors
+    /// ::shutdown(SHUT_RD): unblock a pending read while keeping the write
+    /// side open — the graceful server stop (in-flight responses still
+    /// flush after new requests are cut off). Ignores errors.
+    void shutdownRead() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Listening endpoint description: a Unix socket path or a TCP port on
+/// 127.0.0.1. Exactly one is active; port 0 asks the kernel for an
+/// ephemeral port (read back via boundPort after listen).
+struct Endpoint {
+    std::string unix_path; ///< non-empty selects a Unix domain socket
+    std::uint16_t port = 0; ///< used when unix_path is empty
+
+    [[nodiscard]] static Endpoint unixAt(std::string path) {
+        return Endpoint{std::move(path), 0};
+    }
+    [[nodiscard]] static Endpoint tcpAt(std::uint16_t port) { return Endpoint{{}, port}; }
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Bind + listen. For Unix endpoints a stale socket file from a previous
+/// run is unlinked first. Throws on failure.
+[[nodiscard]] Socket listenOn(const Endpoint& ep, int backlog = 64);
+
+/// The port a TCP listener actually bound (resolves port 0). Throws for
+/// Unix sockets.
+[[nodiscard]] std::uint16_t boundPort(const Socket& listener);
+
+/// Accept one connection; nullopt when the listener was shut down or
+/// closed (the clean server-stop path). Throws on unexpected errors.
+[[nodiscard]] std::optional<Socket> acceptOn(const Socket& listener);
+
+/// Connect to a serve endpoint. Throws on failure (including refusal).
+[[nodiscard]] Socket connectTo(const Endpoint& ep);
+
+/// Write all of `bytes`; false if the peer closed mid-write.
+[[nodiscard]] bool writeAll(const Socket& s, std::string_view bytes);
+
+/// Read exactly `n` bytes into `out` (resized). False on clean EOF at a
+/// frame boundary start; throws if EOF interrupts a partial read.
+[[nodiscard]] bool readExact(const Socket& s, std::string& out, std::size_t n);
+
+/// Frame transport. writeFrame refuses payloads above kMaxFramePayload.
+/// readFrame returns nullopt on clean EOF; a length prefix above
+/// `max_payload` throws (protocol violation, not a transport condition).
+inline constexpr std::size_t kMaxFramePayload = 64u << 20; ///< 64 MiB hard cap
+
+[[nodiscard]] bool writeFrame(const Socket& s, std::string_view payload);
+[[nodiscard]] std::optional<std::string> readFrame(const Socket& s,
+                                                   std::size_t max_payload = kMaxFramePayload);
+
+} // namespace flh::net

@@ -225,6 +225,46 @@ TEST_F(SamplerRun, TimeseriesJsonAndTraceCounterEventsParse) {
     EXPECT_TRUE(saw_rss);
 }
 
+TEST_F(SamplerRun, RestartBeginsFreshSeriesOnTheSameLane) {
+    setEnabled(true);
+    Counter& c = counter("benchreg.restart");
+    SamplerOptions opts;
+    opts.period_ms = 1;
+    Sampler sampler(opts);
+
+    // Activation one.
+    sampler.start();
+    c.add(10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sampler.stop();
+    const std::vector<MetricsSample> first = sampler.samples();
+    ASSERT_GE(first.size(), 1u);
+    const double last_ts1 = first.back().ts_us;
+    EXPECT_DOUBLE_EQ(first.back().values.at("benchreg.restart"), 10.0);
+    const std::size_t lanes_after_first = laneCount();
+
+    // Activation two must start a clean series: the previous activation's
+    // final sample is not replayed into it (that would double-count the
+    // boundary), and it records onto the same sampler lane instead of
+    // leaking a stale one per restart.
+    sampler.start();
+    c.add(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sampler.stop();
+    const std::vector<MetricsSample> second = sampler.samples();
+    ASSERT_GE(second.size(), 1u);
+    EXPECT_GT(second.front().ts_us, last_ts1);
+    EXPECT_DOUBLE_EQ(second.back().values.at("benchreg.restart"), 15.0);
+    EXPECT_EQ(laneCount(), lanes_after_first);
+
+    // A redundant start while running stays a no-op (no series reset).
+    sampler.start();
+    const std::size_t before = sampler.sampleCount();
+    sampler.start();
+    EXPECT_GE(sampler.sampleCount(), before);
+    sampler.stop();
+}
+
 TEST_F(SamplerRun, HeartbeatIsRateLimited) {
     setEnabled(true);
     counter("fault_sim.faults_graded").add(1000);

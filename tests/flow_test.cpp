@@ -1,6 +1,7 @@
 // Flow engine: graph validation, scheduler determinism across thread
 // counts, content-addressed cache behavior (hit replay, precise
 // invalidation), artifact round-trip, and failure poisoning.
+#include "flow/cache.hpp"
 #include "flow/paper_flow.hpp"
 
 #include <gtest/gtest.h>
@@ -8,6 +9,9 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
 
 namespace flh {
 namespace {
@@ -213,6 +217,75 @@ TEST(FlowEngine, FailurePoisonsExactlyTheDownstreamCone) {
         } else {
             EXPECT_FALSE(r.failed);
         }
+    }
+}
+
+TEST(FlowCache, ConcurrentReadersAndWritersNeverSeeTornArtifacts) {
+    // The serve daemon points many worker threads at one ResultCache, so
+    // load/store must be safe under concurrency: the atomic temp-file +
+    // rename store means a reader observes either a complete artifact or a
+    // miss — never a half-written entry. Writers stamp head and tail with
+    // the same token around a bulk blob; a torn read would mismatch them.
+    TempCache tmp;
+    ResultCache cache(tmp.dir);
+    constexpr int kKeys = 4;
+    constexpr int kWriters = 3;
+    constexpr int kReaders = 3;
+    constexpr int kIters = 40;
+    std::vector<std::string> keys;
+    for (int k = 0; k < kKeys; ++k) {
+        char buf[33];
+        std::snprintf(buf, sizeof buf, "%032x", k + 1);
+        keys.emplace_back(buf);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::atomic<int> observed{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            for (int i = 0; i < kIters; ++i) {
+                for (const std::string& key : keys) {
+                    const std::string token =
+                        key + ":" + std::to_string(w) + ":" + std::to_string(i);
+                    Artifact art;
+                    art.setStr("head", token);
+                    art.setBlob("bulk", std::string(64 * 1024, 'x'));
+                    art.setStr("tail", token);
+                    cache.store(key, art);
+                }
+            }
+        });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&] {
+            while (!stop.load()) {
+                for (const std::string& key : keys) {
+                    const std::optional<Artifact> art = cache.load(key);
+                    if (!art) continue; // not stored yet: a clean miss
+                    observed.fetch_add(1);
+                    if (!art->hasMeta("head") || !art->hasMeta("tail") ||
+                        art->str("head") != art->str("tail") ||
+                        art->blob("bulk").size() != 64u * 1024)
+                        torn.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+    stop.store(true);
+    for (int r = 0; r < kReaders; ++r)
+        threads[static_cast<std::size_t>(kWriters + r)].join();
+
+    EXPECT_EQ(torn.load(), 0);
+    EXPECT_GT(observed.load(), 0);
+    // After the dust settles every key holds one complete final artifact.
+    for (const std::string& key : keys) {
+        EXPECT_TRUE(cache.contains(key));
+        const std::optional<Artifact> art = cache.load(key);
+        ASSERT_TRUE(art.has_value());
+        EXPECT_EQ(art->str("head"), art->str("tail"));
     }
 }
 

@@ -1,0 +1,461 @@
+// flh_serve subsystem: wire protocol round-trips, single-flight
+// coalescing, and the server end-to-end over a real socket — warm-cache
+// replay, flow batch absorption, admission control (overload rejections
+// with retry-after, queue-wait deadlines), malformed frames, graceful
+// shutdown, and a multi-client concurrency soak.
+#include "serve/batcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace flh::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- protocol ----------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTrips) {
+    Request req;
+    req.id = 42;
+    req.type = RequestType::Flow;
+    req.deadline_ms = 1500.5;
+    req.params_json = R"({"circuits": ["s27"], "pairs": 8})";
+
+    const ParsedRequest p = parseRequest(req.toJson());
+    EXPECT_EQ(p.id, 42u);
+    EXPECT_EQ(p.type, RequestType::Flow);
+    EXPECT_DOUBLE_EQ(p.deadline_ms, 1500.5);
+    ASSERT_EQ(p.params.kind, JsonValue::Kind::Obj);
+    EXPECT_EQ(p.params.at("circuits").arr.at(0).str, "s27");
+    EXPECT_DOUBLE_EQ(p.params.at("pairs").num, 8.0);
+}
+
+TEST(ServeProtocol, RequestDefaultsAndMissingParams) {
+    const ParsedRequest p = parseRequest(R"({"id": 1, "type": "ping"})");
+    EXPECT_EQ(p.type, RequestType::Ping);
+    EXPECT_DOUBLE_EQ(p.deadline_ms, 0.0);
+    EXPECT_EQ(p.params.kind, JsonValue::Kind::Null);
+}
+
+TEST(ServeProtocol, RequestRejectsGarbage) {
+    EXPECT_THROW((void)parseRequest("not json"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest("[1,2]"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"id": 1, "type": "warp"})"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"id": "x", "type": "ping"})"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"v": 99, "id": 1, "type": "ping"})"),
+                 std::runtime_error);
+}
+
+TEST(ServeProtocol, ResponseOkRoundTrips) {
+    Response resp = Response::okFor(7, "r-000001", R"({"pong": true})");
+    resp.queue_ms = 0.25;
+    resp.wall_ms = 3.5;
+    resp.coalesced = true;
+
+    const ParsedResponse p = parseResponse(resp.toJson());
+    EXPECT_EQ(p.id, 7u);
+    EXPECT_TRUE(p.ok);
+    EXPECT_EQ(p.trace_id, "r-000001");
+    EXPECT_DOUBLE_EQ(p.queue_ms, 0.25);
+    EXPECT_DOUBLE_EQ(p.wall_ms, 3.5);
+    EXPECT_TRUE(p.coalesced);
+    EXPECT_TRUE(p.result.at("pong").b);
+}
+
+TEST(ServeProtocol, ResponseErrorRoundTrips) {
+    const Response resp =
+        Response::errorFor(9, "r-000002", {"overloaded", "queue full", 48.0});
+    const ParsedResponse p = parseResponse(resp.toJson());
+    EXPECT_EQ(p.id, 9u);
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.error.code, "overloaded");
+    EXPECT_EQ(p.error.message, "queue full");
+    EXPECT_DOUBLE_EQ(p.error.retry_after_ms, 48.0);
+}
+
+TEST(ServeProtocol, CanonicalJsonIgnoresKeyOrderAndWhitespace) {
+    const JsonValue a = parseJson(R"({"pairs": 8, "circuits": ["s27"]})");
+    const JsonValue b = parseJson("{ \"circuits\" : [ \"s27\" ],\n  \"pairs\" : 8 }");
+    EXPECT_EQ(canonicalJson(a), canonicalJson(b));
+    const JsonValue c = parseJson(R"({"pairs": 9, "circuits": ["s27"]})");
+    EXPECT_NE(canonicalJson(a), canonicalJson(c));
+}
+
+// ---- single flight -----------------------------------------------------
+
+TEST(ServeSingleFlight, FollowersShareTheLeadersResult) {
+    SingleFlight sf;
+    std::atomic<int> runs{0};
+    std::atomic<int> coalesced{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&] {
+            const SingleFlight::Outcome out = sf.run("k", [&] {
+                runs.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                return std::string("value");
+            });
+            EXPECT_EQ(out.value, "value");
+            if (out.coalesced) coalesced.fetch_add(1);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    // The key is erased when a leader finishes, so late arrivals may start
+    // fresh flights — but followers never outnumber total minus leaders.
+    EXPECT_GE(runs.load(), 1);
+    EXPECT_EQ(runs.load() + coalesced.load(), 8);
+    EXPECT_EQ(sf.inflight(), 0u);
+}
+
+TEST(ServeSingleFlight, LeaderErrorPropagatesToFollowers) {
+    SingleFlight sf;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&] {
+            try {
+                (void)sf.run("boom", [&]() -> std::string {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                    throw std::runtime_error("leader failed");
+                });
+            } catch (const std::runtime_error&) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 4);
+    EXPECT_EQ(sf.inflight(), 0u);
+}
+
+TEST(ServeSingleFlight, DistinctKeysRunIndependently) {
+    SingleFlight sf;
+    std::atomic<int> runs{0};
+    std::thread a([&] {
+        (void)sf.run("a", [&] {
+            runs.fetch_add(1);
+            return std::string("a");
+        });
+    });
+    std::thread b([&] {
+        (void)sf.run("b", [&] {
+            runs.fetch_add(1);
+            return std::string("b");
+        });
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(runs.load(), 2);
+}
+
+// ---- server end-to-end -------------------------------------------------
+
+/// Running server on an ephemeral loopback port with a throwaway cache
+/// directory; connections are plain blocking sockets.
+struct ServerFixture {
+    std::string cache_dir;
+    Server server;
+
+    explicit ServerFixture(ServeOptions opts = {}) : server(configure(opts)) {
+        server.start();
+    }
+    ~ServerFixture() {
+        server.stop();
+        std::error_code ec;
+        fs::remove_all(cache_dir, ec);
+    }
+
+    ServeOptions configure(ServeOptions opts) {
+        static std::atomic<int> counter{0};
+        cache_dir = (fs::temp_directory_path() /
+                     ("flh_serve_test_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(counter.fetch_add(1))))
+                        .string();
+        if (opts.endpoint.unix_path.empty()) opts.endpoint = net::Endpoint::tcpAt(0);
+        opts.flow.cache_dir = cache_dir;
+        return opts;
+    }
+
+    [[nodiscard]] net::Socket connect() const {
+        return net::connectTo(server.boundEndpoint());
+    }
+};
+
+ParsedResponse roundTrip(const net::Socket& sock, const Request& req) {
+    EXPECT_TRUE(net::writeFrame(sock, req.toJson()));
+    const std::optional<std::string> raw = net::readFrame(sock);
+    if (!raw) throw std::runtime_error("connection closed before a reply");
+    return parseResponse(*raw);
+}
+
+Request flowRequest(std::uint64_t id, const std::string& circuits_json, int pairs) {
+    Request req;
+    req.id = id;
+    req.type = RequestType::Flow;
+    req.params_json =
+        R"({"circuits": )" + circuits_json + R"(, "pairs": )" + std::to_string(pairs) + "}";
+    return req;
+}
+
+TEST(ServeServer, PingRoundTrips) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    Request req;
+    req.id = 5;
+    const ParsedResponse resp = roundTrip(sock, req);
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.id, 5u);
+    EXPECT_TRUE(resp.result.at("pong").b);
+    EXPECT_GE(resp.result.at("workers").num, 1.0);
+    EXPECT_FALSE(resp.trace_id.empty());
+}
+
+TEST(ServeServer, MalformedFrameGetsBadRequestNotDisconnect) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    ASSERT_TRUE(net::writeFrame(sock, "this is not json"));
+    const std::optional<std::string> raw = net::readFrame(sock);
+    ASSERT_TRUE(raw.has_value());
+    const ParsedResponse resp = parseResponse(*raw);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.code, "bad_request");
+
+    // The session survives a bad frame; a good request still works.
+    Request req;
+    req.id = 2;
+    EXPECT_TRUE(roundTrip(sock, req).ok);
+    EXPECT_EQ(fx.server.stats().bad_requests, 1u);
+}
+
+TEST(ServeServer, UnknownFlowCircuitIsBadRequest) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    const ParsedResponse resp =
+        roundTrip(sock, flowRequest(1, R"(["no_such_circuit"])", 4));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.code, "bad_request");
+}
+
+TEST(ServeServer, WarmReplayServesFromCache) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    const ParsedResponse cold = roundTrip(sock, flowRequest(1, R"(["s27"])", 8));
+    ASSERT_TRUE(cold.ok);
+    EXPECT_DOUBLE_EQ(cold.result.at("failures").num, 0.0);
+    EXPECT_GT(cold.result.at("stages").num, 0.0);
+
+    const ParsedResponse warm = roundTrip(sock, flowRequest(2, R"(["s27"])", 8));
+    ASSERT_TRUE(warm.ok);
+    EXPECT_DOUBLE_EQ(warm.result.at("hit_rate").num, 1.0);
+    EXPECT_DOUBLE_EQ(warm.result.at("misses").num, 0.0);
+}
+
+TEST(ServeServer, QueuedCompatibleFlowsBatchIntoOneCone) {
+    ServeOptions opts;
+    opts.workers = 1; // one worker: the first slow job pins it
+    opts.queue_limit = 16;
+    ServerFixture fx(opts);
+
+    // Pin the worker with a deliberately heavier flow, then queue two
+    // identical cheap ones from separate connections. The worker absorbs
+    // both into one batch when it frees up; the absorbed member is marked
+    // coalesced.
+    const net::Socket pinner = fx.connect();
+    const net::Socket a = fx.connect();
+    const net::Socket b = fx.connect();
+    ASSERT_TRUE(net::writeFrame(pinner, flowRequest(1, R"(["s1423"])", 256).toJson()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30)); // let it dequeue
+    ASSERT_TRUE(net::writeFrame(a, flowRequest(2, R"(["s27"])", 8).toJson()));
+    ASSERT_TRUE(net::writeFrame(b, flowRequest(3, R"(["s27"])", 8).toJson()));
+
+    auto read = [](const net::Socket& s) {
+        const std::optional<std::string> raw = net::readFrame(s);
+        EXPECT_TRUE(raw.has_value());
+        return parseResponse(*raw);
+    };
+    const ParsedResponse rp = read(pinner);
+    const ParsedResponse ra = read(a);
+    const ParsedResponse rb = read(b);
+    EXPECT_TRUE(rp.ok);
+    ASSERT_TRUE(ra.ok);
+    ASSERT_TRUE(rb.ok);
+    // Both batch members report only their own design's stages.
+    EXPECT_EQ(ra.result.at("stages").num, rb.result.at("stages").num);
+    EXPECT_EQ(fx.server.stats().batched, 1u);
+    EXPECT_TRUE(ra.coalesced || rb.coalesced);
+}
+
+TEST(ServeServer, OverloadRejectsWithRetryAfter) {
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.queue_limit = 1;
+    ServerFixture fx(opts);
+
+    // Distinct configs so nothing is absorbed: one runs, one queues, the
+    // rest must be rejected with a structured retry-after.
+    std::vector<net::Socket> socks;
+    for (int i = 0; i < 4; ++i) socks.push_back(fx.connect());
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(net::writeFrame(
+            socks[static_cast<std::size_t>(i)],
+            flowRequest(static_cast<std::uint64_t>(i) + 1, R"(["s298"])", 200 + i)
+                .toJson()));
+
+    std::size_t ok = 0;
+    std::size_t overloaded = 0;
+    for (const net::Socket& s : socks) {
+        const std::optional<std::string> raw = net::readFrame(s);
+        ASSERT_TRUE(raw.has_value());
+        const ParsedResponse resp = parseResponse(*raw);
+        if (resp.ok) {
+            ++ok;
+        } else {
+            ASSERT_EQ(resp.error.code, "overloaded");
+            EXPECT_GE(resp.error.retry_after_ms, 10.0);
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok + overloaded, 4u);
+    EXPECT_GE(overloaded, 1u);
+    EXPECT_EQ(fx.server.stats().rejected_overload, overloaded);
+}
+
+TEST(ServeServer, QueueWaitDeadlineIsEnforced) {
+    ServeOptions opts;
+    opts.workers = 1;
+    opts.queue_limit = 8;
+    ServerFixture fx(opts);
+
+    const net::Socket pinner = fx.connect();
+    const net::Socket late = fx.connect();
+    ASSERT_TRUE(net::writeFrame(pinner, flowRequest(1, R"(["s1423"])", 256).toJson()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30)); // worker is busy now
+
+    Request doomed = flowRequest(2, R"(["s27"])", 4);
+    doomed.deadline_ms = 0.01; // expires long before the worker frees up
+    ASSERT_TRUE(net::writeFrame(late, doomed.toJson()));
+
+    const std::optional<std::string> raw = net::readFrame(late);
+    ASSERT_TRUE(raw.has_value());
+    const ParsedResponse resp = parseResponse(*raw);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.code, "deadline_exceeded");
+    EXPECT_TRUE(roundTrip(pinner, Request{}).ok); // pinned job still completed
+}
+
+TEST(ServeServer, MetricsReportsServeStats) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    ASSERT_TRUE(roundTrip(sock, flowRequest(1, R"(["s27"])", 8)).ok);
+
+    Request req;
+    req.id = 2;
+    req.type = RequestType::Metrics;
+    const ParsedResponse resp = roundTrip(sock, req);
+    ASSERT_TRUE(resp.ok);
+    const JsonValue& serve = resp.result.at("serve");
+    EXPECT_GE(serve.at("completed").num, 1.0);
+    EXPECT_GE(serve.at("connections").num, 1.0);
+    EXPECT_TRUE(resp.result.has("metrics"));
+}
+
+TEST(ServeServer, ShutdownAcksThenStops) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    Request req;
+    req.id = 1;
+    req.type = RequestType::Shutdown;
+    const ParsedResponse resp = roundTrip(sock, req);
+    ASSERT_TRUE(resp.ok);
+    EXPECT_TRUE(resp.result.at("stopping").b);
+    fx.server.waitUntilStopped();
+    EXPECT_THROW((void)fx.connect(), std::runtime_error);
+}
+
+TEST(ServeServer, FourClientMixedSoakHasZeroFailures) {
+    ServeOptions opts;
+    opts.workers = 2;
+    ServerFixture fx(opts);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 12;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            const net::Socket sock = fx.connect();
+            for (int i = 0; i < kPerClient; ++i) {
+                const std::uint64_t id =
+                    static_cast<std::uint64_t>(c) * 100 + static_cast<std::uint64_t>(i);
+                Request req;
+                if (i % 3 == 0) {
+                    req.id = id;
+                    req.type = RequestType::Ping;
+                } else {
+                    req = flowRequest(id, R"(["s27"])", 8);
+                }
+                try {
+                    const ParsedResponse resp = roundTrip(sock, req);
+                    if (!resp.ok || resp.id != id) bad.fetch_add(1);
+                } catch (const std::exception&) {
+                    bad.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(bad.load(), 0);
+    const StatsSnapshot s = fx.server.stats();
+    EXPECT_EQ(s.ok, static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(s.errors, 0u);
+    EXPECT_EQ(s.dropped_replies, 0u);
+}
+
+TEST(ServeServer, UnixSocketWorksAndUnlinksOnStop) {
+    const std::string path =
+        (fs::temp_directory_path() /
+         ("flh_serve_ux_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    ServeOptions opts;
+    opts.endpoint = net::Endpoint::unixAt(path);
+    {
+        ServerFixture fx(opts);
+        const net::Socket sock = net::connectTo(net::Endpoint::unixAt(path));
+        Request req;
+        req.id = 1;
+        EXPECT_TRUE(roundTrip(sock, req).ok);
+    }
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ServeServer, OversizedFrameIsRejectedAsBadRequest) {
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    // The server rejects on the length prefix alone, so it may cut the
+    // connection while we are still writing the payload — a failed or
+    // reset write is as much a rejection as the bad_request reply.
+    const std::string huge(kMaxRequestFrame + 1, 'x');
+    try {
+        if (!net::writeFrame(sock, huge)) return;
+    } catch (const std::runtime_error&) {
+        return;
+    }
+    const std::optional<std::string> raw = net::readFrame(sock);
+    ASSERT_TRUE(raw.has_value());
+    const ParsedResponse resp = parseResponse(*raw);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.code, "bad_request");
+}
+
+} // namespace
+} // namespace flh::serve

@@ -1,4 +1,5 @@
 #include "util/exec_policy.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -9,9 +10,119 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <string>
 
 namespace flh {
 namespace {
+
+/// The diagnostic text parseJson throws for `text`, or "" if it parses.
+std::string parseError(std::string_view text, const JsonLimits& limits = {}) {
+    try {
+        (void)parseJson(text, limits);
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(ParseJson, RoundTripsOwnWriterOutput) {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("name", "s27 \"quoted\"\n");
+    w.kv("count", std::uint64_t{42});
+    w.kv("rate", 0.125);
+    w.key("tags");
+    w.beginArray();
+    w.value("a");
+    w.value(true);
+    w.endArray();
+    w.endObject();
+
+    const JsonValue v = parseJson(w.str());
+    EXPECT_EQ(v.at("name").str, "s27 \"quoted\"\n");
+    EXPECT_DOUBLE_EQ(v.at("count").num, 42.0);
+    EXPECT_DOUBLE_EQ(v.at("rate").num, 0.125);
+    EXPECT_TRUE(v.at("tags").arr.at(1).b);
+}
+
+TEST(ParseJson, TruncatedInputThrows) {
+    EXPECT_NE(parseError(""), "");
+    EXPECT_NE(parseError("{"), "");
+    EXPECT_NE(parseError(R"({"a": [1, 2)"), "");
+    EXPECT_NE(parseError(R"({"a": "unterminated)"), "");
+    EXPECT_NE(parseError(R"("ends in esc \)"), "");
+    EXPECT_NE(parseError(R"("short \u00)"), "");
+}
+
+TEST(ParseJson, TrailingBytesRejected) {
+    EXPECT_NE(parseError("{} trailing"), "");
+    EXPECT_NE(parseError("1 2"), "");
+    EXPECT_EQ(parseError("{}  \n "), ""); // trailing whitespace is fine
+}
+
+TEST(ParseJson, DepthLimitBoundsNesting) {
+    const std::string deep_ok(10, '[');
+    EXPECT_EQ(parseError(deep_ok + std::string(10, ']'),
+                         JsonLimits{.max_depth = 16}),
+              "");
+    const std::string too_deep(17, '[');
+    const std::string msg =
+        parseError(too_deep + std::string(17, ']'), JsonLimits{.max_depth = 16});
+    EXPECT_NE(msg.find("nesting deeper than 16"), std::string::npos) << msg;
+
+    // The default budget also holds against a hostile megabyte of '['.
+    EXPECT_NE(parseError(std::string(1 << 20, '[')), "");
+}
+
+TEST(ParseJson, StringLimitBoundsDecodedBytes) {
+    JsonLimits tight;
+    tight.max_string_bytes = 8;
+    EXPECT_EQ(parseError(R"("12345678")", tight), "");
+    const std::string msg = parseError(R"("123456789")", tight);
+    EXPECT_NE(msg.find("string longer than 8"), std::string::npos) << msg;
+}
+
+TEST(ParseJson, NumberLimitBoundsTokenLength) {
+    JsonLimits tight;
+    tight.max_number_chars = 6;
+    EXPECT_EQ(parseError("123456", tight), "");
+    EXPECT_NE(parseError("1234567", tight), "");
+}
+
+TEST(ParseJson, StrictNumberGrammar) {
+    EXPECT_DOUBLE_EQ(parseJson("1.5e3").num, 1500.0);
+    EXPECT_DOUBLE_EQ(parseJson("-0.25").num, -0.25);
+    EXPECT_NE(parseError("01"), "");    // no leading zeros
+    EXPECT_NE(parseError("+1"), "");    // no leading plus
+    EXPECT_NE(parseError("1."), "");    // digits required after '.'
+    EXPECT_NE(parseError("1e"), "");    // digits required in exponent
+    EXPECT_NE(parseError("-"), "");
+    EXPECT_NE(parseError("1e999"), ""); // out of double range
+}
+
+TEST(ParseJson, InvalidUtf8AndControlBytesRejected) {
+    EXPECT_NE(parseError("\"\xff\""), "");         // invalid lead byte
+    EXPECT_NE(parseError("\"\xc3\""), "");         // truncated sequence
+    EXPECT_NE(parseError("\"\xc0\xaf\""), "");     // overlong form lead
+    EXPECT_NE(parseError("\"a\x01b\""), "");       // raw control byte
+    EXPECT_NE(parseError("\"ok \\x\""), "");       // unknown escape
+    EXPECT_EQ(parseError("\"caf\xc3\xa9\""), "");  // valid two-byte UTF-8
+    EXPECT_EQ(parseJson("\"caf\xc3\xa9\"").str, "caf\xc3\xa9");
+}
+
+TEST(ParseJson, ErrorsCarryByteAndLineColumnPosition) {
+    const std::string msg = parseError("{\n  \"a\": nope\n}");
+    EXPECT_NE(msg.find("json parse error at byte"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(ParseJson, ObjectAccessors) {
+    const JsonValue v = parseJson(R"({"a": 1, "b": null})");
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_FALSE(v.has("zz"));
+    EXPECT_EQ(v.at("b").kind, JsonValue::Kind::Null);
+    EXPECT_THROW((void)v.at("zz"), std::runtime_error);
+}
 
 TEST(Rng, Deterministic) {
     Rng a(42), b(42);
