@@ -18,9 +18,12 @@
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
+#include <atomic>
 #include <csignal>
 #include <iostream>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace flh;
 
@@ -35,6 +38,8 @@ constexpr const char* kUsage = R"(usage: flh_serve [options]
   --queue N            admission queue bound (default 64)
   --deadline-ms F      default queue-wait deadline for requests that carry
                        none (default 0 = none)
+  --idle-ms N          drop connections that idle or stall mid-frame for
+                       N ms (default 30000; 0 = never)
   --cache-dir DIR      flow result cache directory (default .flowcache)
   --no-cache           flow stages recompute every time
   --sample MS          run the metrics sampler at MS cadence; metrics
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
         }
         else if (scan.is("--queue")) opts.queue_limit = scan.num<std::size_t>();
         else if (scan.is("--deadline-ms")) opts.default_deadline_ms = scan.num<double>();
+        else if (scan.is("--idle-ms")) opts.io_timeout_ms = scan.num<unsigned>();
         else if (scan.is("--cache-dir")) opts.flow.cache_dir = scan.value();
         else if (scan.is("--no-cache")) opts.flow.use_cache = false;
         else if (scan.is("--sample")) sample_ms = scan.num<unsigned>();
@@ -103,9 +109,15 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // Cleared the instant sigwait returns: past that point the thread may
+    // exit at any moment, and pthread_kill on a terminated thread is
+    // undefined — so the wake-up below must go to the process, not the
+    // thread, and only while this is still set.
+    std::atomic<bool> signal_thread_waiting{true};
     std::thread signal_thread([&] {
         int sig = 0;
         sigwait(&stop_signals, &sig);
+        signal_thread_waiting.store(false);
         server.requestStop();
     });
 
@@ -115,8 +127,13 @@ int main(int argc, char** argv) {
     }
 
     server.waitUntilStopped();
-    // Unblock the signal thread if the stop came from a shutdown request.
-    pthread_kill(signal_thread.native_handle(), SIGTERM);
+    // If the stop came from a shutdown request, the signal thread is still
+    // parked in sigwait: a process-directed SIGTERM can only be consumed
+    // by it (every thread blocks the signal). If it already took a signal,
+    // either no SIGTERM is sent or the extra one stays pending-and-blocked
+    // until exit — both harmless, unlike pthread_kill on a thread that may
+    // have terminated.
+    if (signal_thread_waiting.load()) kill(getpid(), SIGTERM);
     signal_thread.join();
 
     if (!common.trace_path.empty())

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace flh::serve {
@@ -22,15 +23,23 @@ const JsonValue& want(const JsonValue& obj, const std::string& key, JsonValue::K
 
 std::uint64_t idFrom(const JsonValue& obj) {
     const JsonValue& v = want(obj, "id", JsonValue::Kind::Num, "a number");
-    if (v.num < 0) badFrame("field \"id\" must be non-negative");
+    // The value is an untrusted double off the wire: casting a NaN or a
+    // number beyond the target range to uint64_t is undefined behavior,
+    // so bound it to the exactly-representable integers first (the
+    // negated comparison also rejects NaN).
+    constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+    if (!(v.num >= 0.0 && v.num < kMaxExactInt) || v.num != std::floor(v.num))
+        badFrame("field \"id\" must be an integer in [0, 2^53)");
     return static_cast<std::uint64_t>(v.num);
 }
 
 void checkVersion(const JsonValue& obj) {
     if (!obj.has("v")) return; // tolerated: assume current version
     const JsonValue& v = obj.at("v");
-    if (v.kind != JsonValue::Kind::Num ||
-        static_cast<int>(v.num) != kProtocolVersion)
+    // Same cast hazard as idFrom: validate the double is a small integer
+    // before static_cast<int> can run on it.
+    if (v.kind != JsonValue::Kind::Num || !(v.num >= 0.0 && v.num <= 1e6) ||
+        v.num != std::floor(v.num) || static_cast<int>(v.num) != kProtocolVersion)
         badFrame("unsupported protocol version");
 }
 
@@ -86,8 +95,8 @@ ParsedRequest parseRequest(std::string_view frame) {
 
     if (doc.has("deadline_ms")) {
         const JsonValue& d = doc.at("deadline_ms");
-        if (d.kind != JsonValue::Kind::Num || d.num < 0)
-            badFrame("field \"deadline_ms\" must be a non-negative number");
+        if (d.kind != JsonValue::Kind::Num || !(d.num >= 0) || !std::isfinite(d.num))
+            badFrame("field \"deadline_ms\" must be a finite non-negative number");
         req.deadline_ms = d.num;
     }
 

@@ -115,6 +115,7 @@ void StatsSnapshot::writeJson(JsonWriter& w) const {
     w.kv("batched", batched);
     w.kv("dropped_replies", dropped_replies);
     w.kv("queue_depth", static_cast<std::uint64_t>(queue_depth));
+    w.kv("open_sessions", static_cast<std::uint64_t>(open_sessions));
     w.kv("ema_service_ms", ema_service_ms);
     w.endObject();
 }
@@ -165,7 +166,9 @@ void Server::waitUntilStopped() {
     if (listen_thread_.joinable()) listen_thread_.join();
     for (std::thread& w : workers_)
         if (w.joinable()) w.join();
-    // Listener is gone, so the session list is final.
+    // Listener is gone, so the session list is final: join the still-live
+    // session threads (each retires itself on the way out), then reap the
+    // retired ones the listener never got to.
     std::vector<std::shared_ptr<Session>> sessions;
     {
         std::lock_guard<std::mutex> sl(sessions_mu_);
@@ -173,6 +176,11 @@ void Server::waitUntilStopped() {
     }
     for (const std::shared_ptr<Session>& s : sessions)
         if (s->thread.joinable()) s->thread.join();
+    reapFinishedSessions();
+    {
+        std::lock_guard<std::mutex> sl(sessions_mu_);
+        sessions_.clear();
+    }
     if (sampler_) sampler_->stop();
     listener_.close();
     if (!opts_.endpoint.unix_path.empty()) ::unlink(opts_.endpoint.unix_path.c_str());
@@ -202,6 +210,10 @@ StatsSnapshot Server::stats() const {
         std::lock_guard<std::mutex> lock(queue_mu_);
         s.queue_depth = queue_.size();
     }
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        s.open_sessions = sessions_.size();
+    }
     s.ema_service_ms = static_cast<double>(ema_service_us_.load(relaxed)) / 1000.0;
     return s;
 }
@@ -211,9 +223,13 @@ StatsSnapshot Server::stats() const {
 void Server::listenLoop() {
     obs::setThreadLabel("serve-listener");
     try {
-        while (std::optional<net::Socket> accepted = net::acceptOn(listener_)) {
+        for (;;) {
+            reapFinishedSessions();
+            std::optional<net::Socket> accepted = net::acceptOn(listener_);
+            if (!accepted) break;
             auto session = std::make_shared<Session>();
             session->sock = std::move(*accepted);
+            if (opts_.io_timeout_ms > 0) net::setRecvTimeout(session->sock, opts_.io_timeout_ms);
             stats_.connections.fetch_add(1, relaxed);
             static obs::Counter& c_conn = obs::counter("serve.connections");
             c_conn.add();
@@ -223,8 +239,14 @@ void Server::listenLoop() {
             }
             session->thread = std::thread([this, session] { sessionLoop(session); });
             // Close the race with a concurrent requestStop() that iterated
-            // the session list before this connection appeared in it.
-            if (stopping_.load(relaxed)) session->sock.shutdownRead();
+            // the session list before this connection appeared in it. Under
+            // sessions_mu_ so it cannot interleave with the session closing
+            // its own socket in retireSession.
+            if (stopping_.load(relaxed)) {
+                std::lock_guard<std::mutex> lock(sessions_mu_);
+                if (std::find(sessions_.begin(), sessions_.end(), session) != sessions_.end())
+                    session->sock.shutdownRead();
+            }
         }
     } catch (const std::exception&) {
         // Listener socket died; stop accepting. Existing sessions live on.
@@ -246,9 +268,37 @@ void Server::sessionLoop(const std::shared_ptr<Session>& session) {
                                                       ErrorInfo{"bad_request", e.what(), 0.0}));
             break;
         }
-        if (!frame) break; // clean disconnect (or shutdownRead on stop)
+        if (!frame) break; // clean disconnect, idle timeout, or stop
         handleFrame(session, *frame);
     }
+    retireSession(session);
+}
+
+void Server::retireSession(const std::shared_ptr<Session>& session) {
+    // Unblock any send stuck on a full socket buffer before taking
+    // write_mu, so a worker mid-response cannot hold the close back.
+    session->sock.shutdownBoth();
+    std::scoped_lock lock(sessions_mu_, session->write_mu);
+    // Close under both locks: sendResponse serializes on write_mu (a late
+    // response sees fd -1 and counts a dropped reply, never a reused fd),
+    // and requestStop/listenLoop only touch sockets still in sessions_.
+    session->sock.close();
+    const auto it = std::find(sessions_.begin(), sessions_.end(), session);
+    if (it != sessions_.end()) {
+        finished_sessions_.push_back(std::move(*it));
+        sessions_.erase(it);
+    }
+    // Not found: waitUntilStopped already took ownership and will join us.
+}
+
+void Server::reapFinishedSessions() {
+    std::vector<std::shared_ptr<Session>> done;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        done.swap(finished_sessions_);
+    }
+    for (const std::shared_ptr<Session>& s : done)
+        if (s->thread.joinable()) s->thread.join();
 }
 
 void Server::workerLoop(unsigned index) {

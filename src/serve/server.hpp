@@ -10,6 +10,15 @@
 //                                   └ flow/fuzz/equiv: admission queue
 //   worker pool (ExecPolicy-sized) ── dequeue ──> handler ──> response
 //
+// Connection lifecycle: a session that disconnects retires itself — its
+// fd closes immediately and the listener joins the thread between
+// accepts — so a long-lived daemon under connection churn holds
+// resources proportional to *live* connections, not total ever accepted.
+// Accepted sockets carry a recv timeout (ServeOptions::io_timeout_ms);
+// a peer that stalls mid-frame or idles at a frame boundary is dropped
+// rather than pinning a session thread. Transient fd exhaustion in
+// accept (EMFILE) backs off and retries instead of killing the listener.
+//
 // Admission control: the queue is bounded (ServeOptions::queue_limit);
 // a full queue rejects with a structured "overloaded" error carrying
 // retry_after_ms (estimated from a service-time EMA and the current
@@ -78,6 +87,12 @@ struct ServeOptions {
     /// Per-frame payload cap enforced at the transport.
     std::size_t max_frame_bytes = kMaxRequestFrame;
 
+    /// SO_RCVTIMEO armed on every accepted socket: a peer that goes
+    /// silent mid-frame (or idles at a frame boundary) for this long is
+    /// dropped instead of pinning its session thread and fd forever.
+    /// 0 disables.
+    unsigned io_timeout_ms = 30000;
+
     /// The warm flow engine behind `flow` requests.
     FlowServiceOptions flow;
 
@@ -109,6 +124,7 @@ struct StatsSnapshot {
     std::uint64_t batched = 0;   ///< flow jobs absorbed into a merged cone
     std::uint64_t dropped_replies = 0; ///< peer gone before the response
     std::size_t queue_depth = 0;
+    std::size_t open_sessions = 0; ///< live connections (retired ones pruned)
     double ema_service_ms = 0.0;
 
     void writeJson(JsonWriter& w) const;
@@ -169,6 +185,14 @@ private:
     void sessionLoop(const std::shared_ptr<Session>& session);
     void workerLoop(unsigned index);
 
+    /// Session-thread exit path: close the socket (freeing the fd now,
+    /// not at shutdown) and move the session from sessions_ to the
+    /// finished list for the listener to join.
+    void retireSession(const std::shared_ptr<Session>& session);
+    /// Join and destroy retired sessions. Called on the listener thread
+    /// between accepts and from waitUntilStopped — never concurrently.
+    void reapFinishedSessions();
+
     void handleFrame(const std::shared_ptr<Session>& session, const std::string& frame);
     void validateJob(Job& job); ///< fills spec/keys; throws BadRequest (internal type)
     void admit(Job job);
@@ -204,8 +228,10 @@ private:
     std::condition_variable queue_cv_;
     std::deque<Job> queue_;
 
-    std::mutex sessions_mu_;
+    mutable std::mutex sessions_mu_;
     std::vector<std::shared_ptr<Session>> sessions_;
+    /// Sessions whose loop has exited: socket closed, thread unjoined.
+    std::vector<std::shared_ptr<Session>> finished_sessions_;
 
     std::atomic<bool> stopping_{false};
     bool started_ = false;

@@ -1,12 +1,15 @@
 #include "util/socket.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -98,8 +101,23 @@ std::optional<Socket> acceptOn(const Socket& listener) {
         // The clean stop path: the listener was shut down or closed under
         // us. Anything else is a real error.
         if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) return std::nullopt;
+        // Resource exhaustion (out of fds under connection churn, transient
+        // kernel memory pressure) recovers once sessions retire — back off
+        // and retry instead of tearing down the accept loop for good.
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            continue;
+        }
         fail("accept");
     }
+}
+
+void setRecvTimeout(const Socket& s, unsigned timeout_ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    if (::setsockopt(s.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+        fail("setsockopt(SO_RCVTIMEO)");
 }
 
 Socket connectTo(const Endpoint& ep) {
@@ -152,6 +170,15 @@ bool readExact(const Socket& s, std::string& out, std::size_t n) {
             continue;
         }
         if (got < 0 && errno == EINTR) continue;
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // SO_RCVTIMEO expired. Zero bytes in means an idle peer —
+            // surface it like a clean disconnect; a partial read means a
+            // stalled peer pinning us mid-frame, which is an error.
+            if (off == 0) return false;
+            throw std::runtime_error("net: read timed out mid-frame (" +
+                                     std::to_string(off) + "/" + std::to_string(n) +
+                                     " bytes)");
+        }
         if (got == 0 || (got < 0 && errno == ECONNRESET)) {
             if (off == 0) return false; // clean EOF at a frame boundary
             throw std::runtime_error("net: peer closed mid-frame (" +
@@ -193,7 +220,7 @@ std::optional<std::string> readFrame(const Socket& s, std::size_t max_payload) {
                                  " exceeds limit " + std::to_string(max_payload));
     std::string payload;
     if (len > 0 && !readExact(s, payload, len))
-        throw std::runtime_error("net: peer closed before frame payload");
+        throw std::runtime_error("net: peer closed or stalled before frame payload");
     return payload;
 }
 

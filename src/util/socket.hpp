@@ -74,8 +74,18 @@ struct Endpoint {
 [[nodiscard]] std::uint16_t boundPort(const Socket& listener);
 
 /// Accept one connection; nullopt when the listener was shut down or
-/// closed (the clean server-stop path). Throws on unexpected errors.
+/// closed (the clean server-stop path). Transient resource exhaustion
+/// (EMFILE/ENFILE/ENOBUFS/ENOMEM) is retried after a short backoff — a
+/// long-lived daemon must not stop accepting forever because fds were
+/// briefly exhausted. Throws on unexpected errors.
 [[nodiscard]] std::optional<Socket> acceptOn(const Socket& listener);
+
+/// Arm SO_RCVTIMEO on `s`: a blocking read that sees no bytes for
+/// `timeout_ms` fails with EAGAIN, which readExact maps to "clean EOF" at
+/// a frame-boundary start and to an error mid-frame. 0 clears the
+/// timeout. Servers set this on accepted sockets so a stalled or silent
+/// peer cannot pin a session thread forever.
+void setRecvTimeout(const Socket& s, unsigned timeout_ms);
 
 /// Connect to a serve endpoint. Throws on failure (including refusal).
 [[nodiscard]] Socket connectTo(const Endpoint& ep);
@@ -83,8 +93,9 @@ struct Endpoint {
 /// Write all of `bytes`; false if the peer closed mid-write.
 [[nodiscard]] bool writeAll(const Socket& s, std::string_view bytes);
 
-/// Read exactly `n` bytes into `out` (resized). False on clean EOF at a
-/// frame boundary start; throws if EOF interrupts a partial read.
+/// Read exactly `n` bytes into `out` (resized). False on clean EOF (or a
+/// recv-timeout with zero bytes read — an idle peer) at a frame boundary
+/// start; throws if EOF or a timeout interrupts a partial read.
 [[nodiscard]] bool readExact(const Socket& s, std::string& out, std::size_t n);
 
 /// Frame transport. writeFrame refuses payloads above kMaxFramePayload.

@@ -56,6 +56,21 @@ TEST(ServeProtocol, RequestRejectsGarbage) {
                  std::runtime_error);
 }
 
+TEST(ServeProtocol, RejectsNumbersThatWouldOverflowTheirCasts) {
+    // Doubles outside the target type's range make the narrowing cast UB;
+    // each of these must be rejected before any cast runs.
+    EXPECT_THROW((void)parseRequest(R"({"id": 1e300, "type": "ping"})"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"id": 1.5, "type": "ping"})"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"id": -1, "type": "ping"})"), std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"v": 1e300, "id": 1, "type": "ping"})"),
+                 std::runtime_error);
+    EXPECT_THROW((void)parseRequest(R"({"v": 1.25, "id": 1, "type": "ping"})"),
+                 std::runtime_error);
+    // Largest exactly-representable id (2^53 - 1) still round-trips.
+    const ParsedRequest p = parseRequest(R"({"id": 9007199254740991, "type": "ping"})");
+    EXPECT_EQ(p.id, 9007199254740991u);
+}
+
 TEST(ServeProtocol, ResponseOkRoundTrips) {
     Response resp = Response::okFor(7, "r-000001", R"({"pong": true})");
     resp.queue_ms = 0.25;
@@ -436,6 +451,53 @@ TEST(ServeServer, UnixSocketWorksAndUnlinksOnStop) {
         EXPECT_TRUE(roundTrip(sock, req).ok);
     }
     EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ServeServer, SessionsArePrunedAfterDisconnect) {
+    ServerFixture fx;
+    constexpr int kChurn = 8;
+    for (int i = 0; i < kChurn; ++i) {
+        const net::Socket sock = fx.connect();
+        Request req;
+        req.id = static_cast<std::uint64_t>(i) + 1;
+        EXPECT_TRUE(roundTrip(sock, req).ok);
+    } // each socket closes on scope exit
+    // Sessions retire themselves when the peer disconnects (fd closed,
+    // thread handed to the reaper) — the list must drain without a server
+    // stop. Poll briefly: retirement is asynchronous to our close().
+    std::size_t open = 0;
+    for (int tries = 0; tries < 500; ++tries) {
+        open = fx.server.stats().open_sessions;
+        if (open == 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(open, 0u);
+    EXPECT_EQ(fx.server.stats().connections, static_cast<std::uint64_t>(kChurn));
+}
+
+TEST(ServeServer, IdlePeerIsDroppedAfterTimeout) {
+    ServeOptions opts;
+    opts.io_timeout_ms = 100;
+    ServerFixture fx(opts);
+    const net::Socket sock = fx.connect();
+    // Send nothing: the server must drop the connection instead of
+    // pinning a session thread and fd forever.
+    EXPECT_FALSE(net::readFrame(sock).has_value());
+}
+
+TEST(ServeServer, MidFrameStallGetsBadRequestThenDisconnect) {
+    ServeOptions opts;
+    opts.io_timeout_ms = 100;
+    ServerFixture fx(opts);
+    const net::Socket sock = fx.connect();
+    // Half a frame header, then silence — a slowloris-style stall.
+    ASSERT_TRUE(net::writeAll(sock, std::string_view("\x00\x00", 2)));
+    const std::optional<std::string> raw = net::readFrame(sock);
+    ASSERT_TRUE(raw.has_value());
+    const ParsedResponse resp = parseResponse(*raw);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.code, "bad_request");
+    EXPECT_FALSE(net::readFrame(sock).has_value()); // connection is gone
 }
 
 TEST(ServeServer, OversizedFrameIsRejectedAsBadRequest) {
