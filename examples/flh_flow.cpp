@@ -23,6 +23,7 @@
 //   --sample MS        background metrics sampler: counter curves in the
 //                      trace + --timeseries export
 //   --heartbeat SEC    rate-limited stderr progress line for long runs
+#include "flow/manifest.hpp"
 #include "flow/paper_flow.hpp"
 #include "obs/benchio.hpp"
 #include "obs/sampler.hpp"
@@ -47,7 +48,21 @@ constexpr const char* kUsage = R"(usage: flh_flow [options]
   --sim-threads N      override the fault-sim budget separately from the
                        scheduler width
   --cache-dir DIR      result cache directory (default .flowcache)
+  --cache-max-bytes N  GC byte budget (suffixes k/m/g); 0 = unbounded
+  --cache-max-entries N GC entry budget; 0 = unbounded
+  --cache-max-age SEC  GC age bound in seconds; 0 = none
+  --cache-gc           run one GC pass when the cache opens
   --no-cache           recompute everything, touch no cache
+  --gc                 standalone mode: GC the cache under the budgets
+                       above, print the result, and exit (no flow runs)
+  --gc-json FILE       write the GC result + cache stats as JSON
+  --drain MANIFEST     fleet mode: cooperatively drain a manifest of
+                       designs (claim files coordinate N processes
+                       sharing one cache; see --claims)
+  --claims DIR         claim directory for --drain
+                       (default: <MANIFEST>.claims)
+  --drain-summary FILE write this drainer's summary JSON (claim counts,
+                       hit/miss totals, cache stats)
   --report FILE        deterministic run report (default flow_report.json)
   --profile FILE       timing/cache profile (default flow_profile.json)
   --trace FILE         write a Chrome trace_event JSON (enables telemetry)
@@ -69,6 +84,7 @@ constexpr const char* kUsage = R"(usage: flh_flow [options]
 int main(int argc, char** argv) {
     cli::ArgScan scan(argc, argv, "flh_flow", kUsage);
     cli::CommonFlags common;
+    cli::CacheFlags cache_flags;
     std::vector<std::string> circuits = {"s27", "s298"};
     FlowOptions opts;
     PaperFlowConfig cfg;
@@ -76,19 +92,28 @@ int main(int argc, char** argv) {
     std::string profile_path = "flow_profile.json";
     std::string bench_path;
     std::string timeseries_path;
+    std::string manifest_path;
+    std::string claims_dir;
+    std::string drain_summary_path;
+    std::string gc_json_path;
+    bool gc_mode = false;
     unsigned sample_ms = 0;
     double require_hit_rate = -1.0;
     bool sim_threads_set = false;
 
     while (scan.next()) {
         if (common.tryParse(scan)) continue;
+        if (cache_flags.tryParse(scan)) continue;
         if (scan.is("--circuits")) circuits = scan.list();
         else if (scan.is("--sim-threads")) {
             opts.sim_threads = scan.num<unsigned>();
             sim_threads_set = true;
         }
-        else if (scan.is("--cache-dir")) opts.cache_dir = scan.value();
-        else if (scan.is("--no-cache")) opts.use_cache = false;
+        else if (scan.is("--gc")) gc_mode = true;
+        else if (scan.is("--gc-json")) gc_json_path = scan.value();
+        else if (scan.is("--drain")) manifest_path = scan.value();
+        else if (scan.is("--claims")) claims_dir = scan.value();
+        else if (scan.is("--drain-summary")) drain_summary_path = scan.value();
         else if (scan.is("--report")) report_path = scan.value();
         else if (scan.is("--profile")) profile_path = scan.value();
         else if (scan.is("--bench-json")) bench_path = scan.value();
@@ -100,6 +125,44 @@ int main(int argc, char** argv) {
         else scan.unknownOption();
     }
     if (circuits.empty()) scan.usageError("empty --circuits list");
+    if (gc_mode && !manifest_path.empty()) scan.usageError("--gc and --drain are exclusive");
+    opts.cache = makeCacheConfig(cache_flags);
+
+    // Standalone GC mode: open the cache (a fresh handle pins nothing, so
+    // the budgets bite), run one pass, report, exit.
+    if (gc_mode) {
+        if (!opts.cache.enabled) scan.usageError("--gc with --no-cache makes no sense");
+        opts.cache.gc_on_open = false; // the explicit gc() below is the pass
+        try {
+            FlowCache cache(opts.cache);
+            const GcResult gc = cache.gc();
+            const CacheStats stats = cache.stats();
+            if (!gc_json_path.empty()) {
+                JsonWriter w;
+                w.beginObject();
+                w.kv("schema", "flh.flow.gc/1");
+                w.key("gc");
+                gc.writeJson(w);
+                w.key("cache");
+                stats.writeJson(w);
+                w.endObject();
+                cli::writeFileOrDie("flh_flow", gc_json_path, w.str() + "\n");
+            }
+            if (!common.quiet) {
+                std::cout << "flh_flow: gc " << opts.cache.dir << ": scanned "
+                          << gc.scanned_entries << " entries (" << gc.scanned_bytes
+                          << " bytes), evicted " << gc.evicted_entries << " ("
+                          << gc.evicted_bytes << " bytes), swept " << gc.swept_temps
+                          << " temps; live " << gc.live_entries << " entries ("
+                          << gc.live_bytes << " bytes), shard skew "
+                          << fmt(stats.shard_skew, 2) << "\n";
+            }
+        } catch (const std::exception& e) {
+            std::cerr << "flh_flow: gc failed: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
+    }
 
     // One --threads flag drives both pools (ExecPolicy everywhere);
     // --sim-threads remains as an explicit override.
@@ -115,6 +178,57 @@ int main(int argc, char** argv) {
     if (common.wantsTelemetry() || sample_ms > 0) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
+    }
+
+    // Fleet mode: drain a manifest cooperatively with any number of other
+    // drainer processes sharing the cache, then report this drainer's slice.
+    if (!manifest_path.empty()) {
+        try {
+            const Manifest manifest = loadManifest(manifest_path);
+            if (claims_dir.empty()) claims_dir = manifest_path + ".claims";
+            std::shared_ptr<FlowCache> cache;
+            if (opts.cache.enabled) {
+                cache = std::make_shared<FlowCache>(opts.cache);
+                opts.cache_handle = cache;
+            }
+            const DrainReport drain = drainManifest(manifest, claims_dir, opts);
+            const RunReport& report = drain.report;
+
+            cli::writeFileOrDie("flh_flow", report_path, report.reportJson());
+            cli::writeFileOrDie("flh_flow", profile_path, report.profileJson());
+            const CacheStats stats = cache ? cache->stats() : CacheStats{};
+            if (!drain_summary_path.empty())
+                cli::writeFileOrDie("flh_flow", drain_summary_path,
+                                    drain.summaryJson(stats) + "\n");
+            if (!common.metrics_path.empty())
+                cli::writeFileOrDie("flh_flow", common.metrics_path, obs::metricsJson());
+
+            if (!common.quiet) {
+                std::cout << "flh_flow: drained " << drain.claimed << "/" << drain.total
+                          << " designs (" << drain.already_claimed
+                          << " claimed elsewhere): " << report.hits() << " hits, "
+                          << report.misses() << " misses, " << report.failures()
+                          << " failures\n";
+            }
+            if (report.failures() > 0) {
+                for (const StageRecord& r : report.records())
+                    if (r.failed)
+                        std::cerr << "flh_flow: " << r.design << "/" << r.stage << ": "
+                                  << r.error << "\n";
+                return 1;
+            }
+            if (require_hit_rate >= 0.0 && drain.claimed > 0 &&
+                report.hitRate() < require_hit_rate) {
+                std::cerr << "flh_flow: cache hit rate " << fmt(100.0 * report.hitRate(), 1)
+                          << "% below required " << fmt(100.0 * require_hit_rate, 1)
+                          << "%\n";
+                return 1;
+            }
+        } catch (const std::exception& e) {
+            std::cerr << "flh_flow: drain failed: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
     }
 
     std::vector<DesignInput> designs;
@@ -142,9 +256,19 @@ int main(int argc, char** argv) {
         sampler->start();
     }
 
+    // Open the cache handle here rather than inside runFlow so the final
+    // stats scan (gauges for --metrics) sees the same handle the run used.
+    std::shared_ptr<FlowCache> cache;
+    if (opts.cache.enabled) {
+        cache = std::make_shared<FlowCache>(opts.cache);
+        opts.cache_handle = cache;
+    }
+
     const RunReport report = runFlow(graph, designs, opts);
 
     if (sampler) sampler->stop();
+
+    if (cache) (void)cache->stats(); // refresh cache.entries/bytes gauges
 
     cli::writeFileOrDie("flh_flow", report_path, report.reportJson());
     cli::writeFileOrDie("flh_flow", profile_path, report.profileJson());

@@ -41,6 +41,10 @@ constexpr const char* kUsage = R"(usage: flh_serve [options]
   --idle-ms N          drop connections that idle or stall mid-frame for
                        N ms (default 30000; 0 = never)
   --cache-dir DIR      flow result cache directory (default .flowcache)
+  --cache-max-bytes N  GC byte budget (suffixes k/m/g); 0 = unbounded
+  --cache-max-entries N GC entry budget; 0 = unbounded
+  --cache-max-age SEC  GC age bound in seconds; 0 = none
+  --cache-gc           run one cache GC pass on startup
   --no-cache           flow stages recompute every time
   --sample MS          run the metrics sampler at MS cadence; metrics
                        responses then include the time-series
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
     cli::ArgScan scan(argc, argv, "flh_serve", kUsage);
     cli::CommonFlags common;
     common.threads = 0; // service default: one worker per hardware thread
+    cli::CacheFlags cache_flags;
     serve::ServeOptions opts;
     std::string socket_path;
     bool port_set = false;
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
 
     while (scan.next()) {
         if (common.tryParse(scan)) continue;
+        if (cache_flags.tryParse(scan)) continue;
         if (scan.is("--socket")) socket_path = scan.value();
         else if (scan.is("--port")) {
             port = scan.num<std::uint16_t>();
@@ -74,13 +80,12 @@ int main(int argc, char** argv) {
         else if (scan.is("--queue")) opts.queue_limit = scan.num<std::size_t>();
         else if (scan.is("--deadline-ms")) opts.default_deadline_ms = scan.num<double>();
         else if (scan.is("--idle-ms")) opts.io_timeout_ms = scan.num<unsigned>();
-        else if (scan.is("--cache-dir")) opts.flow.cache_dir = scan.value();
-        else if (scan.is("--no-cache")) opts.flow.use_cache = false;
         else if (scan.is("--sample")) sample_ms = scan.num<unsigned>();
         else scan.unknownOption();
     }
     if (!socket_path.empty() && port_set)
         scan.usageError("--socket and --port are mutually exclusive");
+    opts.flow.cache = makeCacheConfig(cache_flags);
 
     opts.workers = common.threads;
     opts.sampler_period_ms = sample_ms;

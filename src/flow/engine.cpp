@@ -51,7 +51,7 @@ struct FlowTelemetry {
     }
 };
 
-void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultCache* cache,
+void runTask(TaskTable& tt, std::size_t design, std::size_t stage, FlowCache* cache,
              const FlowOptions& opts) {
     const StageDef& def = tt.graph.stages()[stage];
     const DesignInput& input = tt.designs[design];
@@ -81,16 +81,19 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultC
     h.field(kFlowCodeVersion).field(def.name).field(def.config);
     h.field(input.source).field(input.attrs);
     for (const std::size_t d : tt.dep_idx[stage]) h.field(tt.records[tt.taskId(design, d)].key);
-    rec.key = h.digest().hex();
+    const CacheKey key = CacheKey::fromHash(h.digest());
+    rec.key = key.hex();
 
     const auto start = Clock::now();
     try {
         if (cache) {
+            // Single probe: get() returns the artifact or a miss — no
+            // contains()-then-load window for another process to evict in.
             obs::ScopedSpan probe_span(
                 obs::enabled() ? "cache-probe:" + input.name + "/" + def.name
                                : std::string(),
                 "flow.cache");
-            if (auto hit = cache->load(rec.key)) {
+            if (auto hit = cache->get(key)) {
                 rec.artifact = std::move(*hit);
                 rec.cache_hit = true;
             }
@@ -104,7 +107,7 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, const ResultC
                 ctx.addInput(tt.graph.stages()[d].name,
                              &tt.records[tt.taskId(design, d)].artifact);
             rec.artifact = def.run(ctx);
-            if (cache) cache->store(rec.key, rec.artifact);
+            if (cache) cache->put(key, rec.artifact);
         }
         rec.digest = rec.artifact.digest().hex();
         // Throughput is only meaningful when the work actually ran; a cache
@@ -141,9 +144,9 @@ RunReport runFlow(const FlowGraph& graph, std::span<const DesignInput> designs,
     tt.pending.resize(n_tasks);
     tt.records.resize(n_tasks);
 
-    std::optional<ResultCache> cache;
-    if (opts.use_cache) cache.emplace(opts.cache_dir);
-    const ResultCache* cache_ptr = cache ? &*cache : nullptr;
+    std::shared_ptr<FlowCache> cache = opts.cache_handle;
+    if (!cache && opts.cache.enabled) cache = std::make_shared<FlowCache>(opts.cache);
+    FlowCache* cache_ptr = cache.get();
 
     // Seed the ready queue with all dependency-free tasks, design-major so a
     // small pool starts pipelining early stages of many designs at once.

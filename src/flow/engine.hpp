@@ -29,6 +29,7 @@
 #include "util/json.hpp"
 #include "util/table.hpp"
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,10 +50,13 @@ struct FlowOptions {
     unsigned threads = 1;
     /// Inner fault-simulation budget handed to each stage (FaultSimOptions).
     unsigned sim_threads = 1;
-    /// Result-cache directory; created on demand.
-    std::string cache_dir = ".flowcache";
-    /// Disable the cache entirely (every stage recomputes).
-    bool use_cache = true;
+    /// Result-cache configuration (directory, GC budgets, enabled flag) —
+    /// the single CacheConfig threaded engine -> service -> serve.
+    CacheConfig cache;
+    /// A warm, shared cache handle. When set it is used as-is (`cache` is
+    /// ignored); long-lived callers (FlowService, the drain loop) pass one
+    /// handle across many runFlow calls so pins and stats accumulate.
+    std::shared_ptr<FlowCache> cache_handle;
 
     /// Unified policy view of the scheduler width. Floor of one task per
     /// worker: resolveThreads(n_tasks) clamps the pool to the task count.
@@ -88,6 +92,7 @@ struct StageRecord {
 
 class RunReport {
 public:
+    RunReport() = default; ///< empty report (drain aggregation seeds one)
     RunReport(std::string code_version, std::vector<StageRecord> records, unsigned threads,
               unsigned sim_threads);
 

@@ -1,0 +1,168 @@
+#include "flow/manifest.hpp"
+
+#include "util/filelock.hpp"
+#include "util/json.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace flh {
+
+namespace {
+
+/// Claim/done files are named by the content hash of the design name:
+/// collision-free, filesystem-safe regardless of what the name contains.
+std::string claimStem(const std::string& design_name) {
+    return contentHash(design_name).hex();
+}
+
+std::string hostName() {
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+    return buf;
+}
+
+std::int64_t intField(const JsonValue& v, const char* key, std::int64_t fallback) {
+    if (!v.has(key)) return fallback;
+    const JsonValue& f = v.at(key);
+    if (f.kind != JsonValue::Kind::Num)
+        throw std::runtime_error(std::string("manifest: \"") + key + "\" must be a number");
+    return static_cast<std::int64_t>(f.num);
+}
+
+} // namespace
+
+Manifest parseManifest(const std::string& json_text) {
+    const JsonValue v = parseJson(json_text);
+    if (v.kind != JsonValue::Kind::Obj)
+        throw std::runtime_error("manifest: top level must be an object");
+    if (v.has("schema") && v.at("schema").str != "flh.flow.manifest/1")
+        throw std::runtime_error("manifest: unsupported schema '" + v.at("schema").str + "'");
+
+    Manifest m;
+    m.cfg.random_pairs = static_cast<int>(intField(v, "pairs", m.cfg.random_pairs));
+    m.cfg.atpg_seed = static_cast<std::uint64_t>(intField(
+        v, "seed", static_cast<std::int64_t>(m.cfg.atpg_seed)));
+    m.cfg.power_vectors = static_cast<int>(intField(v, "power_vectors", m.cfg.power_vectors));
+    m.cfg.power_seed = static_cast<std::uint64_t>(intField(
+        v, "power_seed", static_cast<std::int64_t>(m.cfg.power_seed)));
+
+    if (!v.has("designs") || v.at("designs").kind != JsonValue::Kind::Arr ||
+        v.at("designs").arr.empty())
+        throw std::runtime_error("manifest: \"designs\" must be a non-empty array");
+
+    std::set<std::string> seen;
+    for (const JsonValue& d : v.at("designs").arr) {
+        ManifestEntry e;
+        if (d.kind == JsonValue::Kind::Str) {
+            e.circuit = d.str;
+        } else if (d.kind == JsonValue::Kind::Obj) {
+            if (!d.has("circuit") || d.at("circuit").kind != JsonValue::Kind::Str)
+                throw std::runtime_error("manifest: design entries need a \"circuit\" string");
+            e.circuit = d.at("circuit").str;
+            if (d.has("name")) {
+                if (d.at("name").kind != JsonValue::Kind::Str)
+                    throw std::runtime_error("manifest: design \"name\" must be a string");
+                e.name = d.at("name").str;
+            }
+            // A non-string attrs (e.g. a nested object) would silently coerce
+            // to "" and collapse every variant onto one cache cone — reject.
+            if (d.has("attrs")) {
+                if (d.at("attrs").kind != JsonValue::Kind::Str)
+                    throw std::runtime_error(
+                        "manifest: design \"attrs\" must be a \"k=v;k=v\" string");
+                e.attrs = d.at("attrs").str;
+            }
+        } else {
+            throw std::runtime_error("manifest: design entries must be strings or objects");
+        }
+        if (e.circuit.empty()) throw std::runtime_error("manifest: empty circuit name");
+        if (e.name.empty()) e.name = e.circuit;
+        if (!seen.insert(e.name).second)
+            throw std::runtime_error("manifest: duplicate design name '" + e.name + "'");
+        m.designs.push_back(std::move(e));
+    }
+    return m;
+}
+
+Manifest loadManifest(const std::string& path) {
+    const std::optional<std::string> text = readFileIfExists(path);
+    if (!text) throw std::runtime_error("manifest: cannot read " + path);
+    return parseManifest(*text);
+}
+
+DesignInput resolveManifestEntry(const ManifestEntry& entry) {
+    DesignInput d = designInputFor(entry.circuit);
+    d.name = entry.name.empty() ? entry.circuit : entry.name;
+    if (!entry.attrs.empty())
+        d.attrs = d.attrs.empty() ? entry.attrs : d.attrs + ";" + entry.attrs;
+    return d;
+}
+
+std::string DrainReport::summaryJson(const CacheStats& cache_stats) const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.flow.drain/1");
+    w.kv("designs_total", static_cast<std::uint64_t>(total));
+    w.kv("claimed", static_cast<std::uint64_t>(claimed));
+    w.kv("already_claimed", static_cast<std::uint64_t>(already_claimed));
+    w.kv("stages", static_cast<std::uint64_t>(report.records().size()));
+    w.kv("cache_hits", static_cast<std::uint64_t>(report.hits()));
+    w.kv("cache_misses", static_cast<std::uint64_t>(report.misses()));
+    w.kv("failures", static_cast<std::uint64_t>(report.failures()));
+    w.kv("hit_rate", report.hitRate());
+    w.key("cache");
+    cache_stats.writeJson(w);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+DrainReport drainManifest(const Manifest& manifest, const std::string& claims_dir,
+                          const FlowOptions& opts) {
+    fs::create_directories(claims_dir);
+
+    // Resolve every design before claiming any: an unresolvable manifest
+    // must fail fast, not strand half-claimed designs behind a throw.
+    std::vector<DesignInput> resolved;
+    resolved.reserve(manifest.designs.size());
+    for (const ManifestEntry& e : manifest.designs) resolved.push_back(resolveManifestEntry(e));
+
+    const FlowGraph graph = buildPaperFlow(manifest.cfg);
+    FlowOptions run_opts = opts;
+    if (!run_opts.cache_handle && run_opts.cache.enabled)
+        run_opts.cache_handle = std::make_shared<FlowCache>(run_opts.cache);
+
+    const std::string claim_body = "pid=" + std::to_string(::getpid()) +
+                                   " host=" + hostName() + "\n";
+
+    DrainReport out;
+    out.total = manifest.designs.size();
+    std::vector<StageRecord> records;
+    for (std::size_t i = 0; i < manifest.designs.size(); ++i) {
+        const std::string stem = claims_dir + "/" + claimStem(resolved[i].name);
+        if (!claimFile(stem + ".claim", claim_body + "design=" + resolved[i].name + "\n")) {
+            ++out.already_claimed;
+            continue;
+        }
+        ++out.claimed;
+        const std::vector<DesignInput> one = {resolved[i]};
+        const RunReport rep = runFlow(graph, one, run_opts);
+        for (const StageRecord& r : rep.records()) records.push_back(r);
+        // The done marker lands atomically after the stage artifacts are
+        // all persisted — a crash in between leaves a claim without a
+        // marker, the signal that the design needs a re-drain.
+        replaceFileAtomic(stem + ".done", rep.failures() > 0 ? "failed\n" : "ok\n");
+    }
+    out.report = RunReport(std::string(kFlowCodeVersion), std::move(records), opts.threads,
+                           opts.sim_threads);
+    return out;
+}
+
+} // namespace flh

@@ -1,0 +1,84 @@
+// Fleet-scale manifest draining: N independent flh_flow processes (or
+// serve workers) cooperatively consume one many-design manifest against a
+// shared sharded cache.
+//
+// The work-distribution protocol is deliberately file-level, matching the
+// cache's multi-process story: every design in the manifest has a claim
+// file under the claims directory, created with O_CREAT|O_EXCL — exactly
+// one of N racing drainers wins each design, no coordinator process. The
+// winner runs the full paper flow for that design and then writes a done
+// marker recording the outcome. A drainer makes one pass over the
+// manifest: claim what is unclaimed, skip what is not, exit when the list
+// is exhausted — so the fleet finishes when the slowest claimed design
+// finishes, and a crashed drainer loses only its claimed-but-unfinished
+// designs (visible as claims without done markers; re-drain with a fresh
+// claims directory to recompute them from the warm cache).
+//
+// Manifest format (schema flh.flow.manifest/1):
+//
+//   { "schema": "flh.flow.manifest/1",
+//     "pairs": 16, "seed": 11,            // optional PaperFlowConfig knobs
+//     "designs": [
+//        "s27",                           // registry name or .bench path
+//        { "circuit": "s298",             // same resolution rules
+//          "name":    "s298.f3",          // display/claim name (default: circuit)
+//          "attrs":   "fleet=3" } ] }     // extra cache-relevant attrs
+//
+// Distinct `attrs` values give distinct cache cones for the same netlist,
+// which is how CI synthesizes a 30-design corpus from a handful of
+// registry circuits.
+#pragma once
+
+#include "flow/paper_flow.hpp"
+
+#include <string>
+#include <vector>
+
+namespace flh {
+
+struct ManifestEntry {
+    std::string circuit; ///< registry name or .bench path (designInputFor rules)
+    std::string name;    ///< display + claim identity (defaults to circuit)
+    std::string attrs;   ///< extra "k=v;k=v" attributes, appended to the design's
+};
+
+struct Manifest {
+    PaperFlowConfig cfg;
+    std::vector<ManifestEntry> designs;
+};
+
+/// Parse a manifest document. Throws std::runtime_error on malformed JSON,
+/// a wrong schema, duplicate design names, or an empty design list.
+[[nodiscard]] Manifest parseManifest(const std::string& json_text);
+
+/// parseManifest over a file. Throws if the file cannot be read.
+[[nodiscard]] Manifest loadManifest(const std::string& path);
+
+/// Resolve one entry to the engine's DesignInput: circuit resolution via
+/// designInputFor, name override, attrs appended (';'-joined).
+[[nodiscard]] DesignInput resolveManifestEntry(const ManifestEntry& entry);
+
+/// Outcome of one drainer's pass over a manifest.
+struct DrainReport {
+    std::size_t total = 0;           ///< designs in the manifest
+    std::size_t claimed = 0;         ///< designs this process won and ran
+    std::size_t already_claimed = 0; ///< designs another process holds
+    RunReport report;                ///< stage records of the claimed designs
+
+    /// Per-process drain summary (schema flh.flow.drain/1): claim counts,
+    /// cache hit/miss/failure totals, and the cache stats snapshot. The
+    /// fleet CI job sums these across drainers for consistency checks.
+    [[nodiscard]] std::string summaryJson(const CacheStats& cache_stats) const;
+};
+
+/// Drain `manifest` cooperatively: claim-by-claim over the claims
+/// directory (created on demand), running the paper flow for each won
+/// design with `opts` (a shared cache handle is opened once if the config
+/// enables caching and none was passed). Throws on unresolvable designs or
+/// an unusable claims directory; stage failures are recorded per design,
+/// as in runFlow.
+[[nodiscard]] DrainReport drainManifest(const Manifest& manifest,
+                                        const std::string& claims_dir,
+                                        const FlowOptions& opts);
+
+} // namespace flh

@@ -26,7 +26,9 @@ std::string FlowJobSpec::coneKey() const {
     return h.digest().hex();
 }
 
-FlowService::FlowService(FlowServiceOptions opts) : opts_(std::move(opts)) {}
+FlowService::FlowService(FlowServiceOptions opts) : opts_(std::move(opts)) {
+    if (opts_.cache.enabled) cache_ = std::make_shared<FlowCache>(opts_.cache);
+}
 
 std::shared_ptr<const FlowGraph> FlowService::graphFor(const PaperFlowConfig& cfg) {
     const std::string key = configKey(cfg);
@@ -63,8 +65,8 @@ RunReport FlowService::run(const FlowJobSpec& spec) {
     FlowOptions fopts;
     fopts.threads = spec.threads;
     fopts.sim_threads = opts_.sim_threads;
-    fopts.cache_dir = opts_.cache_dir;
-    fopts.use_cache = opts_.use_cache;
+    fopts.cache = opts_.cache;
+    fopts.cache_handle = cache_; // one warm handle across all cones
     return runFlow(*graph, designs, fopts);
 }
 

@@ -2,7 +2,7 @@
 //
 // Every `flh_flow` invocation pays the full cold start — design
 // resolution (registry generation or .bench parse), graph construction,
-// and a fresh ResultCache handle — once per process. A long-lived server
+// and a fresh FlowCache handle — once per process. A long-lived server
 // cannot afford that per request, and it needs one entry point that many
 // worker threads can call at once. FlowService keeps the reusable assets
 // warm across calls:
@@ -13,8 +13,9 @@
 //   * a graph memo: one immutable FlowGraph per distinct PaperFlowConfig,
 //     shared by reference (stage functions are pure, so concurrent
 //     runFlow calls over one graph are safe);
-//   * one persistent cache directory shared by every cone (atomic-rename
-//     stores make concurrent writers safe, see cache.hpp).
+//   * one persistent FlowCache handle shared by every cone (atomic-rename
+//     stores make concurrent writers safe, and the shared handle keeps one
+//     pin set for the whole process — see cache.hpp).
 //
 // run() is thread-safe and re-entrant: N serve workers each running a
 // cone concurrently is the intended shape — the serve worker pool *is*
@@ -33,8 +34,9 @@
 namespace flh {
 
 struct FlowServiceOptions {
-    std::string cache_dir = ".flowcache";
-    bool use_cache = true;
+    /// The one cache configuration (directory, GC budgets, enabled flag),
+    /// shared verbatim with the engine below and the serve CLI above.
+    CacheConfig cache;
     /// Inner fault-sim budget per stage (FaultSimOptions::threads).
     unsigned sim_threads = 1;
 };
@@ -67,6 +69,11 @@ public:
 
     [[nodiscard]] const FlowServiceOptions& options() const noexcept { return opts_; }
 
+    /// The warm cache handle every run() shares (null when the cache is
+    /// disabled). The serve metrics request exports its stats; a serve
+    /// admin GC goes through it so eviction respects the live pins.
+    [[nodiscard]] const std::shared_ptr<FlowCache>& cache() const noexcept { return cache_; }
+
     /// The DesignInput display name a circuit argument resolves to — the
     /// key RunReport records carry. The serve batcher uses this to split a
     /// merged cone's records back into per-request responses. Memoized
@@ -82,6 +89,7 @@ private:
     [[nodiscard]] DesignInput designFor(const std::string& circuit);
 
     FlowServiceOptions opts_;
+    std::shared_ptr<FlowCache> cache_; ///< one handle for every cone
     mutable std::mutex mu_;
     std::map<std::string, DesignInput> designs_;
     std::map<std::string, std::shared_ptr<const FlowGraph>> graphs_;

@@ -654,6 +654,13 @@ std::string Server::metricsResultJson() {
     w.beginObject();
     w.key("serve");
     stats().writeJson(w);
+    // Cache stats come straight from the service's shared FlowCache handle
+    // (always-on, like the serve stats) rather than the obs gauges, which
+    // only record when telemetry is enabled.
+    if (const std::shared_ptr<FlowCache>& c = flow_.cache()) {
+        w.key("cache");
+        c->stats().writeJson(w);
+    }
     w.key("metrics");
     w.rawValue(stripTrailingNewline(obs::metricsJson()));
     if (sampler_) {

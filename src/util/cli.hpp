@@ -22,6 +22,7 @@
 #include "util/strings.hpp"
 
 #include <charconv>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -111,6 +112,32 @@ struct CommonFlags {
         return !trace_path.empty() || !metrics_path.empty() || heartbeat_s > 0.0;
     }
 };
+
+/// The cache flag block shared by flh_flow and flh_serve (mapped onto the
+/// flow layer's CacheConfig by flh::makeCacheConfig — this struct stays
+/// plain so flh_util keeps sitting below flh_flow in the link order):
+///   --cache-dir DIR        result cache directory
+///   --cache-max-bytes N    GC byte budget (suffixes k/m/g, binary)
+///   --cache-max-entries N  GC entry budget
+///   --cache-max-age SEC    GC age bound (seconds)
+///   --cache-gc             run a GC pass when the cache opens
+///   --no-cache             disable the cache entirely
+struct CacheFlags {
+    std::string dir = ".flowcache";
+    std::uint64_t max_bytes = 0;
+    std::uint64_t max_entries = 0;
+    double max_age_s = 0.0;
+    bool gc_on_open = false;
+    bool no_cache = false;
+
+    /// Consume a matching flag; false if the current flag is not ours.
+    bool tryParse(ArgScan& scan);
+};
+
+/// Parse a byte size with an optional binary suffix: "512", "64k", "8M",
+/// "2g" (case-insensitive). usageError via `scan` on anything else.
+[[nodiscard]] std::uint64_t parseByteSize(const ArgScan& scan, const std::string& flag,
+                                          const std::string& s);
 
 /// Write `bytes` to `path`, exiting 1 with a "tool: cannot write" line on
 /// failure — the shared writeFile every CLI duplicated.

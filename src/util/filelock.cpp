@@ -1,0 +1,125 @@
+#include "util/filelock.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace flh {
+
+namespace {
+
+int openLockFile(const std::string& path) {
+    return ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+}
+
+} // namespace
+
+FileLock FileLock::acquire(const std::string& path) {
+    const int fd = openLockFile(path);
+    if (fd < 0)
+        throw std::runtime_error("FileLock: cannot open " + path + ": " +
+                                 std::strerror(errno));
+    // Retry on signal interruption; everything else is fatal.
+    while (::flock(fd, LOCK_EX) != 0) {
+        if (errno == EINTR) continue;
+        const int e = errno;
+        ::close(fd);
+        throw std::runtime_error("FileLock: flock " + path + ": " + std::strerror(e));
+    }
+    return FileLock(fd);
+}
+
+std::optional<FileLock> FileLock::tryAcquire(const std::string& path) {
+    const int fd = openLockFile(path);
+    if (fd < 0) return std::nullopt;
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    return FileLock(fd);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+FileLock::~FileLock() {
+    if (fd_ >= 0) ::close(fd_); // close releases the flock
+}
+
+bool appendLine(const std::string& path, std::string_view line) noexcept {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    // One write call: O_APPEND makes the offset update + write atomic with
+    // respect to other appenders on local filesystems.
+    const ssize_t n = ::write(fd, line.data(), line.size());
+    ::close(fd);
+    return n == static_cast<ssize_t>(line.size());
+}
+
+void replaceFileAtomic(const std::string& path, std::string_view bytes) {
+    const fs::path target(path);
+    std::ostringstream tmp_name;
+    tmp_name << target.filename().string() << ".tmp" << ::getpid() << "."
+             << reinterpret_cast<std::uintptr_t>(&tmp_name); // unique per call
+    const fs::path tmp = target.parent_path() / tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("replaceFileAtomic: cannot write " + tmp.string());
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            throw std::runtime_error("replaceFileAtomic: short write to " + tmp.string());
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        throw std::runtime_error("replaceFileAtomic: rename " + tmp.string() + " -> " + path +
+                                 ": " + ec.message());
+    }
+}
+
+bool claimFile(const std::string& path, std::string_view contents) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST) return false;
+        throw std::runtime_error("claimFile: cannot create " + path + ": " +
+                                 std::strerror(errno));
+    }
+    // Claim content is informational (who holds it); a short write is not
+    // worth failing the claim over.
+    (void)!::write(fd, contents.data(), contents.size());
+    ::close(fd);
+    return true;
+}
+
+std::optional<std::string> readFileIfExists(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace flh

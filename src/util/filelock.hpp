@@ -1,0 +1,68 @@
+// Cross-process file primitives for the sharded flow cache and the
+// manifest drain protocol: advisory flock() locks, atomic appends, atomic
+// whole-file replacement, and exclusive claim files.
+//
+// Everything here is POSIX-level on purpose. The cache's concurrency story
+// is *multi-process* (N flh_flow drainers or serve workers sharing one
+// directory tree), so in-process mutexes are not enough and fcntl record
+// locks are too fragile (closing *any* fd on the file drops them). flock()
+// is per-open-file-description, survives unrelated closes, and is released
+// by the kernel when the holder dies — which is exactly the crash story the
+// cache compaction protocol needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flh {
+
+/// RAII advisory lock on a dedicated lock file (created on demand, never
+/// deleted — unlinking a locked lock file races fresh openers onto a new
+/// inode, silently splitting the lock domain).
+class FileLock {
+public:
+    /// Block until the exclusive lock is held. Throws std::runtime_error
+    /// if the lock file cannot be opened.
+    static FileLock acquire(const std::string& path);
+
+    /// Try once; nullopt if another process (or handle) holds the lock.
+    static std::optional<FileLock> tryAcquire(const std::string& path);
+
+    FileLock(FileLock&& other) noexcept;
+    FileLock& operator=(FileLock&& other) noexcept;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+    ~FileLock(); ///< releases the lock (flock drops with the close)
+
+private:
+    explicit FileLock(int fd) noexcept : fd_(fd) {}
+    int fd_ = -1;
+};
+
+/// Append `line` to `path` with one O_APPEND write() call (creating the
+/// file if needed). On local filesystems a single small append never
+/// interleaves with another process's append, which is what makes the
+/// cache's index logs safe to grow without a lock. Returns false (does not
+/// throw) on failure — index appends are advisory, the artifact store is
+/// the ground truth.
+bool appendLine(const std::string& path, std::string_view line) noexcept;
+
+/// Replace `path` atomically: write `bytes` to a uniquely-named sibling
+/// temp file, fsync-free rename over the target. The temp file is removed
+/// if any step fails. Throws std::runtime_error on failure.
+void replaceFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Create `path` exclusively (O_CREAT|O_EXCL) with `contents`. Returns
+/// true iff this call created the file — the atomic "claim" primitive the
+/// manifest drain uses: exactly one of N racing processes wins each claim.
+/// Throws std::runtime_error on errors other than "already exists".
+bool claimFile(const std::string& path, std::string_view contents);
+
+/// Read a whole file; nullopt if it cannot be opened (ENOENT and friends —
+/// concurrent readers of files being renamed away want a miss, not an
+/// error).
+[[nodiscard]] std::optional<std::string> readFileIfExists(const std::string& path);
+
+} // namespace flh

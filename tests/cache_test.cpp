@@ -1,0 +1,582 @@
+// Sharded flow cache: key validation, GC policy (budgets, LRU order, age,
+// pins), temp-file hygiene, multi-process safety under fork(), and the
+// manifest drain protocol (claim files, done markers, warm re-drains).
+#include "flow/cache.hpp"
+#include "flow/manifest.hpp"
+#include "util/filelock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace flh {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+    std::string dir;
+    TempDir() {
+        static std::atomic<int> counter{0};
+        dir = (fs::temp_directory_path() /
+               ("flh_cache_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++)))
+                  .string();
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+};
+
+/// A settable clock the CacheConfig::clock seam can capture by value.
+struct FakeClock {
+    std::shared_ptr<std::atomic<std::uint64_t>> t =
+        std::make_shared<std::atomic<std::uint64_t>>(1000);
+    [[nodiscard]] std::function<std::uint64_t()> fn() const {
+        auto p = t;
+        return [p] { return p->load(); };
+    }
+    void set(std::uint64_t ms) { t->store(ms); }
+};
+
+/// A well-formed key whose leading byte (= shard) and tail are chosen.
+CacheKey makeKey(unsigned shard, unsigned n) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%02x%030x", shard & 0xffu, n);
+    return CacheKey::parse(std::string_view(buf, 32));
+}
+
+Artifact artOf(const std::string& value, std::size_t pad = 0) {
+    Artifact a;
+    a.setStr("value", value);
+    if (pad > 0) a.setBlob("pad", std::string(pad, 'p'));
+    return a;
+}
+
+// ---- CacheKey ----------------------------------------------------------
+
+TEST(CacheKey, ParseRoundTripsAndShardsByLeadingByte) {
+    const std::string hex = "ab000000000000000000000000000042";
+    const CacheKey k = CacheKey::parse(hex);
+    EXPECT_EQ(k.hex(), hex);
+    EXPECT_EQ(k.shard(), 0xabu);
+    EXPECT_EQ(CacheKey::parse("00000000000000000000000000000000").shard(), 0u);
+    EXPECT_EQ(CacheKey::parse("ff000000000000000000000000000000").shard(), 0xffu);
+    // Uppercase input parses but renders canonically lowercase.
+    EXPECT_EQ(CacheKey::parse("AB000000000000000000000000000042").hex(), hex);
+    // Hashing and parsing agree.
+    const Hash128 h = contentHash("some stage cone");
+    EXPECT_EQ(CacheKey::parse(h.hex()), CacheKey::fromHash(h));
+}
+
+TEST(CacheKey, RejectsMalformedHex) {
+    EXPECT_THROW((void)CacheKey::parse(""), std::invalid_argument);
+    EXPECT_THROW((void)CacheKey::parse("abc"), std::invalid_argument);
+    EXPECT_THROW((void)CacheKey::parse(std::string(31, '0')), std::invalid_argument);
+    EXPECT_THROW((void)CacheKey::parse(std::string(33, '0')), std::invalid_argument);
+    EXPECT_THROW((void)CacheKey::parse("0000000000000000000000000000000g"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)CacheKey::parse("xy000000000000000000000000000000"),
+                 std::invalid_argument);
+}
+
+// ---- handle counters ---------------------------------------------------
+
+TEST(FlowCacheStats, CountsHitsMissesStoresAndScansDisk) {
+    TempDir tmp;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    FlowCache cache(cfg);
+
+    const CacheKey k1 = makeKey(0x11, 1);
+    const CacheKey k2 = makeKey(0x22, 2);
+    EXPECT_FALSE(cache.get(k1).has_value()); // miss
+    cache.put(k1, artOf("one"));
+    cache.put(k2, artOf("two", 512));
+    const std::optional<Artifact> got = cache.get(k1); // hit
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->str("value"), "one");
+
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.stores, 2u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_GT(s.bytes, 512u);
+    EXPECT_EQ(s.shards_used, 2u);
+    EXPECT_EQ(s.max_shard_entries, 1u);
+    EXPECT_DOUBLE_EQ(s.shard_skew, 1.0);
+    EXPECT_EQ(cache.pinnedCount(), 2u);
+}
+
+// ---- GC policy ---------------------------------------------------------
+
+TEST(FlowCacheGc, EntryBudgetEvictsLeastRecentlyTouchedFirst) {
+    TempDir tmp;
+    FakeClock clk;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.clock = clk.fn();
+
+    // Five entries across five shards, touched at strictly increasing times.
+    std::vector<CacheKey> keys;
+    {
+        FlowCache writer(cfg);
+        for (unsigned i = 0; i < 5; ++i) {
+            clk.set(1000 * (i + 1));
+            keys.push_back(makeKey(0x10 * (i + 1), i));
+            writer.put(keys.back(), artOf("v" + std::to_string(i)));
+        }
+    }
+
+    // A fresh handle pins nothing, so the budget bites: keep the 2 newest.
+    clk.set(10000);
+    CacheConfig gc_cfg = cfg;
+    gc_cfg.max_entries = 2;
+    FlowCache collector(gc_cfg);
+    const GcResult gc = collector.gc();
+    EXPECT_EQ(gc.scanned_entries, 5u);
+    EXPECT_EQ(gc.evicted_entries, 3u);
+    EXPECT_EQ(gc.live_entries, 2u);
+    EXPECT_EQ(gc.scanned_bytes, gc.evicted_bytes + gc.live_bytes);
+
+    FlowCache reader(cfg);
+    EXPECT_FALSE(reader.get(keys[0]).has_value());
+    EXPECT_FALSE(reader.get(keys[1]).has_value());
+    EXPECT_FALSE(reader.get(keys[2]).has_value());
+    EXPECT_TRUE(reader.get(keys[3]).has_value());
+    EXPECT_TRUE(reader.get(keys[4]).has_value());
+}
+
+TEST(FlowCacheGc, HitRefreshesLruOrder) {
+    TempDir tmp;
+    FakeClock clk;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.clock = clk.fn();
+
+    const CacheKey oldest = makeKey(0x01, 1);
+    const CacheKey newer = makeKey(0x02, 2);
+    {
+        FlowCache writer(cfg);
+        clk.set(1000);
+        writer.put(oldest, artOf("a"));
+        clk.set(2000);
+        writer.put(newer, artOf("b"));
+        // Touch the oldest entry last: a hit appends a T record, so it is
+        // now the most recently used.
+        clk.set(3000);
+        EXPECT_TRUE(writer.get(oldest).has_value());
+    }
+
+    clk.set(4000);
+    CacheConfig gc_cfg = cfg;
+    gc_cfg.max_entries = 1;
+    FlowCache collector(gc_cfg);
+    const GcResult gc = collector.gc();
+    EXPECT_EQ(gc.evicted_entries, 1u);
+
+    FlowCache reader(cfg);
+    EXPECT_TRUE(reader.get(oldest).has_value()); // survived thanks to the hit
+    EXPECT_FALSE(reader.get(newer).has_value());
+}
+
+TEST(FlowCacheGc, ByteBudgetHoldsAfterEviction) {
+    TempDir tmp;
+    FakeClock clk;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.clock = clk.fn();
+
+    std::vector<CacheKey> keys;
+    {
+        FlowCache writer(cfg);
+        for (unsigned i = 0; i < 4; ++i) {
+            clk.set(1000 * (i + 1));
+            keys.push_back(makeKey(0x40 + i, i));
+            writer.put(keys.back(), artOf("v", 1000)); // equal-size entries
+        }
+    }
+    const std::uint64_t total = FlowCache(cfg).stats().bytes;
+    ASSERT_GT(total, 0u);
+    const std::uint64_t per_entry = total / 4;
+
+    clk.set(10000);
+    CacheConfig gc_cfg = cfg;
+    gc_cfg.max_bytes = 2 * per_entry; // room for exactly two entries
+    FlowCache collector(gc_cfg);
+    const GcResult gc = collector.gc();
+    EXPECT_EQ(gc.evicted_entries, 2u);
+    EXPECT_LE(gc.live_bytes, gc_cfg.max_bytes);
+
+    FlowCache reader(cfg);
+    EXPECT_FALSE(reader.get(keys[0]).has_value());
+    EXPECT_FALSE(reader.get(keys[1]).has_value());
+    EXPECT_TRUE(reader.get(keys[2]).has_value());
+    EXPECT_TRUE(reader.get(keys[3]).has_value());
+}
+
+TEST(FlowCacheGc, AgeBoundEvictsOnlyStaleEntries) {
+    TempDir tmp;
+    FakeClock clk;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.clock = clk.fn();
+
+    const CacheKey stale = makeKey(0x0a, 1);
+    const CacheKey fresh = makeKey(0x0b, 2);
+    {
+        FlowCache writer(cfg);
+        clk.set(1000);
+        writer.put(stale, artOf("old"));
+        clk.set(800000);
+        writer.put(fresh, artOf("new"));
+    }
+
+    clk.set(1000000);
+    CacheConfig gc_cfg = cfg;
+    gc_cfg.max_age_s = 300.0; // cutoff at t=700000: only `stale` is older
+    FlowCache collector(gc_cfg);
+    const GcResult gc = collector.gc();
+    EXPECT_EQ(gc.evicted_entries, 1u);
+
+    FlowCache reader(cfg);
+    EXPECT_FALSE(reader.get(stale).has_value());
+    EXPECT_TRUE(reader.get(fresh).has_value());
+}
+
+TEST(FlowCacheGc, PinnedEntriesSurviveTheHandlesOwnGc) {
+    TempDir tmp;
+    FakeClock clk;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.clock = clk.fn();
+    cfg.max_entries = 1; // far below what the run stores
+
+    FlowCache cache(cfg);
+    std::vector<CacheKey> keys;
+    for (unsigned i = 0; i < 3; ++i) {
+        clk.set(1000 * (i + 1));
+        keys.push_back(makeKey(0x60 + i, i));
+        cache.put(keys.back(), artOf("v" + std::to_string(i)));
+    }
+    // Everything this handle stored is its live working set: GC spares it
+    // even though the entry budget is exceeded.
+    const GcResult gc = cache.gc();
+    EXPECT_EQ(gc.evicted_entries, 0u);
+    EXPECT_EQ(gc.live_entries, 3u);
+    for (const CacheKey& k : keys) EXPECT_TRUE(cache.get(k).has_value());
+
+    // A fresh handle (a separate `flh_flow --gc` process) has no pins.
+    FlowCache collector(cfg);
+    EXPECT_EQ(collector.gc().evicted_entries, 2u);
+}
+
+TEST(FlowCacheGc, SweepsStaleTempDroppings) {
+    TempDir tmp;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    cfg.temp_sweep_age_s = 0.0; // sweep any temp regardless of age
+
+    FlowCache cache(cfg);
+    const CacheKey k = makeKey(0x7f, 9);
+    cache.put(k, artOf("live"));
+
+    // Simulate crashed writers: orphaned temps next to a live artifact.
+    const std::string shard_dir = tmp.dir + "/7f";
+    std::ofstream(shard_dir + "/" + k.hex() + ".tmp3.12345") << "partial";
+    std::ofstream(shard_dir + "/" + k.hex() + ".tmp4.99999") << "partial";
+
+    const GcResult gc = cache.gc();
+    EXPECT_EQ(gc.swept_temps, 2u);
+    EXPECT_EQ(gc.evicted_entries, 0u);
+    EXPECT_TRUE(cache.get(k).has_value());
+    // The shard directory holds only the artifact and its index files now.
+    for (const auto& e : fs::directory_iterator(shard_dir))
+        EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+            << e.path();
+}
+
+// ---- store hygiene -----------------------------------------------------
+
+TEST(FlowCachePut, FailedRenameLeavesNoTempBehind) {
+    TempDir tmp;
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    FlowCache cache(cfg);
+    const CacheKey k = makeKey(0x2a, 7);
+
+    // Occupy the artifact path with a non-empty directory: the final
+    // rename must fail, and the failed store must clean up its temp file.
+    const std::string art_path = tmp.dir + "/2a/" + k.hex() + ".art";
+    fs::create_directories(art_path + "/blocker");
+    EXPECT_THROW(cache.put(k, artOf("doomed")), std::exception);
+    for (const auto& e : fs::directory_iterator(tmp.dir + "/2a"))
+        EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+            << "orphaned temp after failed rename: " << e.path();
+
+    // Once the obstruction is gone the same key stores and loads cleanly.
+    fs::remove_all(art_path);
+    cache.put(k, artOf("fine"));
+    const std::optional<Artifact> got = cache.get(k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->str("value"), "fine");
+}
+
+// ---- multi-process -----------------------------------------------------
+
+TEST(FlowCacheMp, ForkedWritersReadersAndGcNeverSeeTornArtifacts) {
+    // N child processes hammer one cache directory: every child writes
+    // head/tail-stamped artifacts over a shared key set while reading the
+    // others' keys, and some children run GC through fresh unpinned handles
+    // so eviction races real traffic. The invariant under fire: a reader
+    // sees a complete artifact or a clean miss, never a torn entry.
+    TempDir tmp;
+    constexpr int kProcs = 4;
+    constexpr int kIters = 25;
+    constexpr unsigned kKeys = 8;
+
+    std::vector<pid_t> pids;
+    for (int p = 0; p < kProcs; ++p) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0) << "fork failed";
+        if (pid == 0) {
+            int bad = 0;
+            try {
+                CacheConfig cfg;
+                cfg.dir = tmp.dir;
+                FlowCache cache(cfg);
+                for (int i = 0; i < kIters; ++i) {
+                    for (unsigned k = 0; k < kKeys; ++k) {
+                        const CacheKey key = makeKey(k * 0x21, k);
+                        const std::string token = key.hex() + ":" + std::to_string(p) +
+                                                  ":" + std::to_string(i);
+                        Artifact art;
+                        art.setStr("head", token);
+                        art.setBlob("bulk", std::string(4096, 'x'));
+                        art.setStr("tail", token);
+                        cache.put(key, art);
+                        const CacheKey probe = makeKey(((k + 1) % kKeys) * 0x21,
+                                                       (k + 1) % kKeys);
+                        const std::optional<Artifact> got = cache.get(probe);
+                        if (got && (got->str("head") != got->str("tail") ||
+                                    got->blob("bulk").size() != 4096u))
+                            ++bad;
+                    }
+                    if (p % 2 == 1 && i % 10 == 9) {
+                        // Concurrent collector: fresh handle, tight budget.
+                        // temp_sweep_age_s stays at the default: a zero-age
+                        // sweep would delete other writers' in-flight temps
+                        // (the default exists precisely to protect them).
+                        CacheConfig gc_cfg;
+                        gc_cfg.dir = tmp.dir;
+                        gc_cfg.max_entries = kKeys / 2;
+                        (void)FlowCache(gc_cfg).gc();
+                    }
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "cache stress child %d threw: %s\n", p, e.what());
+                ::_exit(100);
+            } catch (...) {
+                ::_exit(100);
+            }
+            ::_exit(bad == 0 ? 0 : 1);
+        }
+        pids.push_back(pid);
+    }
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0) << "child saw torn artifacts or threw";
+    }
+
+    // After the dust settles, every surviving key deserializes completely.
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    FlowCache cache(cfg);
+    unsigned present = 0;
+    for (unsigned k = 0; k < kKeys; ++k) {
+        const std::optional<Artifact> art = cache.get(makeKey(k * 0x21, k));
+        if (!art) continue; // evicted by a racing GC: a clean miss
+        ++present;
+        EXPECT_EQ(art->str("head"), art->str("tail"));
+    }
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.entries, present);
+    EXPECT_LE(s.entries, static_cast<std::uint64_t>(kKeys));
+}
+
+// ---- manifest parsing --------------------------------------------------
+
+TEST(Manifest, ParsesConfigKnobsAndDesignForms) {
+    const std::string doc = R"({
+        "schema": "flh.flow.manifest/1",
+        "pairs": 4, "seed": 7, "power_vectors": 3, "power_seed": 99,
+        "designs": [
+            "s27",
+            { "circuit": "s27", "name": "s27.f2", "attrs": "fleet=2" }
+        ]})";
+    const Manifest m = parseManifest(doc);
+    EXPECT_EQ(m.cfg.random_pairs, 4);
+    EXPECT_EQ(m.cfg.atpg_seed, 7u);
+    EXPECT_EQ(m.cfg.power_vectors, 3);
+    EXPECT_EQ(m.cfg.power_seed, 99u);
+    ASSERT_EQ(m.designs.size(), 2u);
+    EXPECT_EQ(m.designs[0].circuit, "s27");
+    EXPECT_EQ(m.designs[0].name, "s27"); // defaults to circuit
+    EXPECT_EQ(m.designs[1].name, "s27.f2");
+    EXPECT_EQ(m.designs[1].attrs, "fleet=2");
+
+    const DesignInput d = resolveManifestEntry(m.designs[1]);
+    EXPECT_EQ(d.name, "s27.f2");
+    EXPECT_NE(d.attrs.find("fleet=2"), std::string::npos);
+}
+
+TEST(Manifest, RejectsMalformedDocuments) {
+    EXPECT_THROW((void)parseManifest("not json"), std::runtime_error);
+    EXPECT_THROW((void)parseManifest("[]"), std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"schema":"flh.flow.manifest/9","designs":["s27"]})"),
+                 std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"schema":"flh.flow.manifest/1"})"),
+                 std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"schema":"flh.flow.manifest/1","designs":[]})"),
+                 std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"designs":["s27","s27"]})"), std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"designs":[42]})"), std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"designs":[{"name":"x"}]})"), std::runtime_error);
+    EXPECT_THROW((void)parseManifest(R"({"designs":[""]})"), std::runtime_error);
+    // Non-string name/attrs would silently coerce to "" (and collapse cache
+    // cones across variants) if accepted — the parser must reject them.
+    EXPECT_THROW((void)parseManifest(R"({"designs":[{"circuit":"s27","name":7}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        (void)parseManifest(R"({"designs":[{"circuit":"s27","attrs":{"fleet":"3"}}]})"),
+        std::runtime_error);
+}
+
+// ---- manifest draining -------------------------------------------------
+
+Manifest smallManifest(int designs) {
+    Manifest m;
+    m.cfg.random_pairs = 2;
+    m.cfg.power_vectors = 2;
+    for (int i = 0; i < designs; ++i) {
+        ManifestEntry e;
+        e.circuit = "s27";
+        e.name = "s27.f" + std::to_string(i);
+        e.attrs = "fleet=" + std::to_string(i);
+        m.designs.push_back(std::move(e));
+    }
+    return m;
+}
+
+TEST(ManifestDrain, ClaimsEachDesignOnceAndWarmRedrainHitsEverything) {
+    TempDir tmp;
+    const Manifest m = smallManifest(3);
+    FlowOptions opts;
+    opts.cache.dir = tmp.dir + "/cache";
+
+    // Cold drain: this process claims every design and computes everything.
+    const DrainReport r1 = drainManifest(m, tmp.dir + "/claims1", opts);
+    EXPECT_EQ(r1.total, 3u);
+    EXPECT_EQ(r1.claimed, 3u);
+    EXPECT_EQ(r1.already_claimed, 0u);
+    EXPECT_EQ(r1.report.failures(), 0u);
+    EXPECT_EQ(r1.report.hits(), 0u);
+    EXPECT_GT(r1.report.misses(), 0u);
+
+    // Every claimed design left an "ok" done marker next to its claim.
+    unsigned claims = 0, dones = 0;
+    for (const auto& e : fs::directory_iterator(tmp.dir + "/claims1")) {
+        const std::string name = e.path().filename().string();
+        if (name.size() > 6 && name.rfind(".claim") == name.size() - 6) ++claims;
+        if (name.size() > 5 && name.rfind(".done") == name.size() - 5) {
+            ++dones;
+            const std::optional<std::string> body = readFileIfExists(e.path().string());
+            ASSERT_TRUE(body.has_value());
+            EXPECT_EQ(*body, "ok\n");
+        }
+    }
+    EXPECT_EQ(claims, 3u);
+    EXPECT_EQ(dones, 3u);
+
+    // Same claims directory again: everything is already claimed.
+    const DrainReport r2 = drainManifest(m, tmp.dir + "/claims1", opts);
+    EXPECT_EQ(r2.claimed, 0u);
+    EXPECT_EQ(r2.already_claimed, 3u);
+    EXPECT_TRUE(r2.report.records().empty());
+
+    // Fresh claims directory over the warm cache: all hits, no recompute.
+    const DrainReport r3 = drainManifest(m, tmp.dir + "/claims2", opts);
+    EXPECT_EQ(r3.claimed, 3u);
+    EXPECT_EQ(r3.report.misses(), 0u);
+    EXPECT_DOUBLE_EQ(r3.report.hitRate(), 1.0);
+
+    // The drain summary carries the claim counts and the cache snapshot.
+    CacheConfig cfg = opts.cache;
+    const std::string summary = r3.summaryJson(FlowCache(cfg).stats());
+    EXPECT_NE(summary.find("\"schema\": \"flh.flow.drain/1\""), std::string::npos);
+    EXPECT_NE(summary.find("\"claimed\": 3"), std::string::npos);
+    EXPECT_NE(summary.find("\"hit_rate\": 1"), std::string::npos);
+}
+
+TEST(ManifestDrain, ForkedDrainersPartitionTheManifestExactly) {
+    TempDir tmp;
+    const Manifest m = smallManifest(4);
+    const std::string claims = tmp.dir + "/claims";
+
+    // Two racing drainer processes: the claim files guarantee each design
+    // is computed by exactly one of them. Children report their claimed
+    // count through the exit status.
+    std::vector<pid_t> pids;
+    for (int p = 0; p < 2; ++p) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0) << "fork failed";
+        if (pid == 0) {
+            try {
+                FlowOptions opts;
+                opts.cache.dir = tmp.dir + "/cache";
+                const DrainReport r = drainManifest(m, claims, opts);
+                if (r.report.failures() > 0) ::_exit(101);
+                if (r.claimed + r.already_claimed != r.total) ::_exit(102);
+                ::_exit(static_cast<int>(r.claimed));
+            } catch (...) {
+                ::_exit(100);
+            }
+        }
+        pids.push_back(pid);
+    }
+    int total_claimed = 0;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        const int code = WEXITSTATUS(status);
+        ASSERT_LT(code, 100) << "drainer child failed";
+        total_claimed += code;
+    }
+    EXPECT_EQ(total_claimed, 4);
+
+    // A late arrival finds nothing left to do.
+    FlowOptions opts;
+    opts.cache.dir = tmp.dir + "/cache";
+    const DrainReport late = drainManifest(m, claims, opts);
+    EXPECT_EQ(late.claimed, 0u);
+    EXPECT_EQ(late.already_claimed, 4u);
+}
+
+} // namespace
+} // namespace flh

@@ -114,7 +114,7 @@ TEST(FlowEngine, SameInputsGiveBitIdenticalReportsAcross128Threads) {
         CountingGraph cg;
         FlowOptions opts;
         opts.threads = threads;
-        opts.cache_dir = cache.dir + "_t" + std::to_string(threads); // isolated caches
+        opts.cache.dir = cache.dir + "_t" + std::to_string(threads); // isolated caches
         const auto designs = twoDesigns();
         const RunReport rep = runFlow(cg.graph, designs, opts);
         EXPECT_EQ(rep.failures(), 0u);
@@ -136,7 +136,7 @@ TEST(FlowEngine, SameInputsGiveBitIdenticalReportsAcross128Threads) {
 TEST(FlowEngine, WarmRunHitsEverythingWithIdenticalReport) {
     TempCache cache;
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
     const auto designs = twoDesigns();
 
     CountingGraph cold;
@@ -159,7 +159,7 @@ TEST(FlowEngine, WarmRunHitsEverythingWithIdenticalReport) {
 TEST(FlowEngine, ConfigEditInvalidatesExactlyTheDownstreamCone) {
     TempCache cache;
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
     const auto designs = twoDesigns();
 
     CountingGraph cold;
@@ -180,7 +180,7 @@ TEST(FlowEngine, ConfigEditInvalidatesExactlyTheDownstreamCone) {
 TEST(FlowEngine, SourceEditInvalidatesOnlyThatDesign) {
     TempCache cache;
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
     auto designs = twoDesigns();
 
     CountingGraph cold;
@@ -206,7 +206,7 @@ TEST(FlowEngine, FailurePoisonsExactlyTheDownstreamCone) {
     g.addStage({"d", "", {"b", "c"}, ok});
     const std::vector<DesignInput> designs = {{"x", "s", ""}};
     FlowOptions opts;
-    opts.use_cache = false;
+    opts.cache.enabled = false;
     const RunReport rep = runFlow(g, designs, opts);
     EXPECT_EQ(rep.failures(), 2u); // b and d
     for (const StageRecord& r : rep.records()) {
@@ -221,22 +221,24 @@ TEST(FlowEngine, FailurePoisonsExactlyTheDownstreamCone) {
 }
 
 TEST(FlowCache, ConcurrentReadersAndWritersNeverSeeTornArtifacts) {
-    // The serve daemon points many worker threads at one ResultCache, so
-    // load/store must be safe under concurrency: the atomic temp-file +
+    // The serve daemon points many worker threads at one FlowCache handle,
+    // so get/put must be safe under concurrency: the atomic temp-file +
     // rename store means a reader observes either a complete artifact or a
     // miss — never a half-written entry. Writers stamp head and tail with
     // the same token around a bulk blob; a torn read would mismatch them.
     TempCache tmp;
-    ResultCache cache(tmp.dir);
+    CacheConfig cfg;
+    cfg.dir = tmp.dir;
+    FlowCache cache(cfg);
     constexpr int kKeys = 4;
     constexpr int kWriters = 3;
     constexpr int kReaders = 3;
     constexpr int kIters = 40;
-    std::vector<std::string> keys;
+    std::vector<CacheKey> keys;
     for (int k = 0; k < kKeys; ++k) {
         char buf[33];
         std::snprintf(buf, sizeof buf, "%032x", k + 1);
-        keys.emplace_back(buf);
+        keys.push_back(CacheKey::parse(buf));
     }
 
     std::atomic<bool> stop{false};
@@ -246,14 +248,14 @@ TEST(FlowCache, ConcurrentReadersAndWritersNeverSeeTornArtifacts) {
     for (int w = 0; w < kWriters; ++w) {
         threads.emplace_back([&, w] {
             for (int i = 0; i < kIters; ++i) {
-                for (const std::string& key : keys) {
+                for (const CacheKey& key : keys) {
                     const std::string token =
-                        key + ":" + std::to_string(w) + ":" + std::to_string(i);
+                        key.hex() + ":" + std::to_string(w) + ":" + std::to_string(i);
                     Artifact art;
                     art.setStr("head", token);
                     art.setBlob("bulk", std::string(64 * 1024, 'x'));
                     art.setStr("tail", token);
-                    cache.store(key, art);
+                    cache.put(key, art);
                 }
             }
         });
@@ -261,8 +263,8 @@ TEST(FlowCache, ConcurrentReadersAndWritersNeverSeeTornArtifacts) {
     for (int r = 0; r < kReaders; ++r) {
         threads.emplace_back([&] {
             while (!stop.load()) {
-                for (const std::string& key : keys) {
-                    const std::optional<Artifact> art = cache.load(key);
+                for (const CacheKey& key : keys) {
+                    const std::optional<Artifact> art = cache.get(key);
                     if (!art) continue; // not stored yet: a clean miss
                     observed.fetch_add(1);
                     if (!art->hasMeta("head") || !art->hasMeta("tail") ||
@@ -281,18 +283,19 @@ TEST(FlowCache, ConcurrentReadersAndWritersNeverSeeTornArtifacts) {
     EXPECT_EQ(torn.load(), 0);
     EXPECT_GT(observed.load(), 0);
     // After the dust settles every key holds one complete final artifact.
-    for (const std::string& key : keys) {
-        EXPECT_TRUE(cache.contains(key));
-        const std::optional<Artifact> art = cache.load(key);
+    for (const CacheKey& key : keys) {
+        const std::optional<Artifact> art = cache.get(key);
         ASSERT_TRUE(art.has_value());
         EXPECT_EQ(art->str("head"), art->str("tail"));
     }
+    // Every touched key is pinned for the life of this handle.
+    EXPECT_EQ(cache.pinnedCount(), static_cast<std::size_t>(kKeys));
 }
 
 TEST(FlowEngine, CorruptCacheEntryIsRecomputedNotTrusted) {
     TempCache cache;
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
     const std::vector<DesignInput> designs = {{"x", "s", ""}};
     CountingGraph cold;
     const RunReport r1 = runFlow(cold.graph, designs, opts);
@@ -339,7 +342,7 @@ TEST(PaperFlow, EndToEndOnS27IsCachedAndDeterministic) {
     const std::vector<DesignInput> designs = {designInputFor("s27")};
 
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
     const RunReport cold = runFlow(graph, designs, opts);
     ASSERT_EQ(cold.failures(), 0u);
     EXPECT_EQ(cold.misses(), graph.size());
@@ -367,7 +370,7 @@ TEST(PaperFlow, AtpgConfigEditRecomputesOnlyAtpgCone) {
     TempCache cache;
     const std::vector<DesignInput> designs = {designInputFor("s27")};
     FlowOptions opts;
-    opts.cache_dir = cache.dir;
+    opts.cache.dir = cache.dir;
 
     (void)runFlow(buildPaperFlow({}), designs, opts);
 

@@ -229,7 +229,7 @@ TEST_F(ObsFlow, FlowReportBytesIdenticalWithTelemetryOnVsOff) {
     const std::vector<DesignInput> designs = {{"alpha", "src-alpha", ""},
                                               {"beta", "src-beta", ""}};
     FlowOptions opts;
-    opts.use_cache = false;
+    opts.cache.enabled = false;
     opts.threads = 2;
 
     ASSERT_FALSE(obs::enabled());
@@ -251,7 +251,7 @@ TEST_F(ObsFlow, FlowRunEmitsOneStageSpanPerDesignStagePair) {
     const std::vector<DesignInput> designs = {{"alpha", "src-alpha", ""},
                                               {"beta", "src-beta", ""}};
     FlowOptions opts;
-    opts.use_cache = false;
+    opts.cache.enabled = false;
     obs::setEnabled(true);
     (void)runFlow(tinyGraph(), designs, opts);
 

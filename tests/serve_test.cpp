@@ -197,7 +197,7 @@ struct ServerFixture {
                       std::to_string(counter.fetch_add(1))))
                         .string();
         if (opts.endpoint.unix_path.empty()) opts.endpoint = net::Endpoint::tcpAt(0);
-        opts.flow.cache_dir = cache_dir;
+        opts.flow.cache.dir = cache_dir;
         return opts;
     }
 
@@ -382,6 +382,13 @@ TEST(ServeServer, MetricsReportsServeStats) {
     EXPECT_GE(serve.at("completed").num, 1.0);
     EXPECT_GE(serve.at("connections").num, 1.0);
     EXPECT_TRUE(resp.result.has("metrics"));
+    // The flow cache section is always on (it reads the service's shared
+    // FlowCache handle, not the gated obs gauges).
+    ASSERT_TRUE(resp.result.has("cache"));
+    const JsonValue& cache = resp.result.at("cache");
+    EXPECT_GE(cache.at("stores").num, 1.0);
+    EXPECT_GE(cache.at("entries").num, 1.0);
+    EXPECT_GT(cache.at("bytes").num, 0.0);
 }
 
 TEST(ServeServer, ShutdownAcksThenStops) {
