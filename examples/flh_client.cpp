@@ -19,6 +19,7 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/socket.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
@@ -33,6 +34,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace flh;
 
@@ -55,6 +58,10 @@ constexpr const char* kUsage = R"(usage: flh_client [options]
   --deadline-ms F      per-request queue-wait deadline (default 0 = none)
   --retries N          resend budget per request on an overloaded
                        rejection, honouring retry_after_ms (default 0)
+  --trace-ids          stamp every request with a wire trace id
+                       (flhc-<pid>.c<conn>.r<seq>); the server adopts it
+                       as the prefix of that request's span trace id, so
+                       merged traces group client and server by request
   --bench-json FILE    write the flh.bench.serve/1 provenance envelope
                        (honors --out / FLH_BENCH_OUT for bare filenames)
   --out DIR            output directory for --bench-json
@@ -131,11 +138,13 @@ std::vector<Template> builtinMix(const std::vector<std::string>& circuits, int p
 
 /// Send one request (with its overload-retry budget) and score the reply.
 void runOne(const net::Socket& sock, const Template& t, std::uint64_t id,
-            double default_deadline_ms, unsigned retries, Tally& tally) {
+            double default_deadline_ms, unsigned retries, const std::string& trace,
+            Tally& tally) {
     serve::Request req;
     req.id = id;
     req.type = t.type;
     req.deadline_ms = t.deadline_ms > 0.0 ? t.deadline_ms : default_deadline_ms;
+    req.trace = trace;
     req.params_json = t.params_json;
     const std::string frame = req.toJson();
 
@@ -188,15 +197,6 @@ void runOne(const net::Socket& sock, const Template& t, std::uint64_t id,
     }
 }
 
-double percentile(std::vector<double> sorted, double p) {
-    if (sorted.empty()) return 0.0;
-    const double idx = p * static_cast<double>(sorted.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(idx);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +215,7 @@ int main(int argc, char** argv) {
     double deadline_ms = 0.0;
     unsigned retries = 0;
     std::string bench_path;
+    bool trace_ids = false;
     bool expect_ok = false;
     double hit_rate_min = -1.0;
     bool send_shutdown = false;
@@ -234,6 +235,7 @@ int main(int argc, char** argv) {
         else if (scan.is("--pairs")) pairs = scan.num<int>();
         else if (scan.is("--deadline-ms")) deadline_ms = scan.num<double>();
         else if (scan.is("--retries")) retries = scan.num<unsigned>();
+        else if (scan.is("--trace-ids")) trace_ids = true;
         else if (scan.is("--bench-json")) bench_path = scan.value();
         else if (scan.is("--expect-ok")) expect_ok = true;
         else if (scan.is("--hit-rate-min")) hit_rate_min = scan.num<double>();
@@ -265,6 +267,8 @@ int main(int argc, char** argv) {
     std::vector<Tally> tallies(connections);
     std::vector<std::string> conn_errors(connections);
     std::vector<std::thread> threads;
+    const std::string trace_prefix =
+        trace_ids ? "flhc-" + std::to_string(::getpid()) : std::string();
     const auto start = std::chrono::steady_clock::now();
     for (unsigned c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
@@ -279,8 +283,12 @@ int main(int argc, char** argv) {
                             std::chrono::duration<double>(static_cast<double>(i) / rps));
                         std::this_thread::sleep_until(slot);
                     }
+                    std::string trace;
+                    if (trace_ids)
+                        trace = trace_prefix + ".c" + std::to_string(c) + ".r" +
+                                std::to_string(i + 1);
                     runOne(sock, templates[i % templates.size()], i + 1, deadline_ms,
-                           retries, tallies[c]);
+                           retries, trace, tallies[c]);
                 }
             } catch (const std::exception& e) {
                 conn_errors[c] = e.what();
@@ -314,9 +322,9 @@ int main(int argc, char** argv) {
     }
 
     std::sort(all.latency_ms.begin(), all.latency_ms.end());
-    const double p50 = percentile(all.latency_ms, 0.50);
-    const double p95 = percentile(all.latency_ms, 0.95);
-    const double p99 = percentile(all.latency_ms, 0.99);
+    const double p50 = stats::percentileSorted(all.latency_ms, 0.50);
+    const double p95 = stats::percentileSorted(all.latency_ms, 0.95);
+    const double p99 = stats::percentileSorted(all.latency_ms, 0.99);
     const double achieved_rps = wall_s > 0.0 ? static_cast<double>(all.sent) / wall_s : 0.0;
     const std::uint64_t flow_total = all.flow_hits + all.flow_misses;
     const double hit_rate =

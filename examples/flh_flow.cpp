@@ -26,6 +26,7 @@
 #include "flow/manifest.hpp"
 #include "flow/paper_flow.hpp"
 #include "obs/benchio.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/cli.hpp"
@@ -67,6 +68,8 @@ constexpr const char* kUsage = R"(usage: flh_flow [options]
   --profile FILE       timing/cache profile (default flow_profile.json)
   --trace FILE         write a Chrome trace_event JSON (enables telemetry)
   --metrics FILE       write flat telemetry metrics (enables telemetry)
+  --events FILE        write a structured JSONL event log (claim races,
+                       GC evictions, ...; independent of --trace)
   --bench-json FILE    write the bench-trajectory export (BENCH_flow.json)
   --out DIR            directory for bench exports (overrides FLH_BENCH_OUT)
   --sample MS          sample counters/RSS every MS ms on a background thread
@@ -127,6 +130,21 @@ int main(int argc, char** argv) {
     if (circuits.empty()) scan.usageError("empty --circuits list");
     if (gc_mode && !manifest_path.empty()) scan.usageError("--gc and --drain are exclusive");
     opts.cache = makeCacheConfig(cache_flags);
+
+    // The JSONL event sink is independent of the span/metrics telemetry
+    // gate: decision events (claim races, GC evictions) flow even when
+    // tracing is off. The guard closes the sink (writing the trailer) on
+    // every return path below.
+    struct EventSinkCloser {
+        ~EventSinkCloser() { obs::closeEventSink(); }
+    } event_sink_closer;
+    if (!common.events_path.empty()) {
+        obs::setEventLogEnabled(true);
+        if (!obs::openEventSink(common.events_path)) {
+            std::cerr << "flh_flow: cannot write " << common.events_path << "\n";
+            return 1;
+        }
+    }
 
     // Standalone GC mode: open the cache (a fresh handle pins nothing, so
     // the budgets bite), run one pass, report, exit.
@@ -191,7 +209,17 @@ int main(int argc, char** argv) {
                 cache = std::make_shared<FlowCache>(opts.cache);
                 opts.cache_handle = cache;
             }
+            std::unique_ptr<obs::Sampler> sampler;
+            if (sample_ms > 0) {
+                obs::SamplerOptions sopts;
+                sopts.period_ms = sample_ms;
+                sopts.heartbeat_every_s = common.heartbeat_s;
+                if (common.heartbeat_s > 0.0) sopts.heartbeat_out = &std::cerr;
+                sampler = std::make_unique<obs::Sampler>(sopts);
+                sampler->start();
+            }
             const DrainReport drain = drainManifest(manifest, claims_dir, opts);
+            if (sampler) sampler->stop();
             const RunReport& report = drain.report;
 
             cli::writeFileOrDie("flh_flow", report_path, report.reportJson());
@@ -200,8 +228,14 @@ int main(int argc, char** argv) {
             if (!drain_summary_path.empty())
                 cli::writeFileOrDie("flh_flow", drain_summary_path,
                                     drain.summaryJson(stats) + "\n");
+            if (!common.trace_path.empty())
+                cli::writeFileOrDie("flh_flow", common.trace_path, obs::traceJson());
             if (!common.metrics_path.empty())
                 cli::writeFileOrDie("flh_flow", common.metrics_path, obs::metricsJson());
+            if (sampler && !timeseries_path.empty())
+                cli::writeFileOrDie("flh_flow",
+                                    obs::benchOutPath(timeseries_path, common.out_flag),
+                                    sampler->timeseriesJson());
 
             if (!common.quiet) {
                 std::cout << "flh_flow: drained " << drain.claimed << "/" << drain.total

@@ -1,0 +1,552 @@
+// flh_obsmerge: merge per-process observability exports into one fleet view.
+//
+//   flh_obsmerge --traces d1/trace.json,d2/trace.json,d3/trace.json
+//                --drains d1/drain.json,d2/drain.json,d3/drain.json
+//                --events d1/events.jsonl,d2/events.jsonl,d3/events.jsonl
+//                --out fleet_trace.json --report fleet_report.json
+//
+// Every flh_flow / flh_serve process exports its trace, time-series, and
+// event log with timestamps on its own steady clock, plus a wall-clock
+// anchor (wall_epoch_us) captured at the same instant the steady epoch was
+// pinned. The merger aligns process i by shifting all of its timestamps by
+// (wall_epoch[i] - min wall_epoch), re-pids it as pid i+1, folds its event
+// log in as instant events, and emits one Chrome trace_event file the
+// chrome://tracing or Perfetto viewer opens as an N-process timeline.
+//
+// The companion report (schema flh.obs.fleet/1) summarizes the fleet:
+// per-drainer utilization (busy design time / whole-pass wall time), the
+// top-K straggler designs across all drainers, and the fleet-wide
+// per-design drain-time histogram, rebuilt by adding the drain summaries'
+// buckets (obs::Histogram bucket indices are shared across processes, so
+// addition is exact — the merged count must equal the number of designs
+// the fleet drained).
+#include "obs/telemetry.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace flh;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: flh_obsmerge [options]
+  --traces LIST      comma-separated Chrome traces, one per process
+                     (a process's --trace export; "-" = none for that slot)
+  --drains LIST      drain summaries (flh.flow.drain/2), one per process
+  --events LIST      JSONL event logs (flh.obs.events/1), one per process
+  --timeseries LIST  time-series exports (flh.obs.timeseries/1), one per
+                     process (folded into the report, not the trace: the
+                     sampler already mirrors counters into each trace)
+  --labels LIST      display names for the processes (default proc-N)
+  --out FILE         merged Chrome trace (default fleet_trace.json)
+  --report FILE      fleet report, schema flh.obs.fleet/1
+                     (default fleet_report.json)
+  --top N            straggler rows in the report (default 5)
+  --quiet            suppress the console summary
+  --help
+
+All lists must have the same length; "-" skips a slot. At least one input
+list is required.
+)";
+
+std::string readFileOrDie(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "flh_obsmerge: cannot read " << path << "\n";
+        std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+double numOr(const JsonValue& v, const std::string& key, double fallback) {
+    if (v.kind != JsonValue::Kind::Obj || !v.has(key)) return fallback;
+    const JsonValue& f = v.at(key);
+    return f.kind == JsonValue::Kind::Num ? f.num : fallback;
+}
+
+std::string strOr(const JsonValue& v, const std::string& key, const std::string& fallback) {
+    if (v.kind != JsonValue::Kind::Obj || !v.has(key)) return fallback;
+    const JsonValue& f = v.at(key);
+    return f.kind == JsonValue::Kind::Str ? f.str : fallback;
+}
+
+/// Re-emit a parsed value verbatim (object keys in map order — the merged
+/// trace is a derived artifact, not a byte-stable report).
+void writeValue(JsonWriter& w, const JsonValue& v) {
+    switch (v.kind) {
+    case JsonValue::Kind::Null: w.rawValue("null"); break;
+    case JsonValue::Kind::Bool: w.value(v.b); break;
+    case JsonValue::Kind::Num: w.value(v.num); break;
+    case JsonValue::Kind::Str: w.value(v.str); break;
+    case JsonValue::Kind::Arr:
+        w.beginArray();
+        for (const JsonValue& e : v.arr) writeValue(w, e);
+        w.endArray();
+        break;
+    case JsonValue::Kind::Obj:
+        w.beginObject();
+        for (const auto& [k, e] : v.obj) {
+            w.key(k);
+            writeValue(w, e);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+struct StragglerRow {
+    std::string design;
+    std::string drainer;
+    double wall_ms = 0.0;
+    bool failed = false;
+};
+
+/// Everything one process contributed, after parsing.
+struct ProcessView {
+    std::string label;
+    bool has_epoch = false;
+    double wall_epoch_us = 0.0; ///< first anchor seen across its files
+    double offset_us = 0.0;     ///< shift applied to its timestamps
+
+    std::vector<JsonValue> trace_events; ///< raw traceEvents entries
+    std::vector<JsonValue> log_events;   ///< parsed JSONL event records
+    std::uint64_t events_dropped = 0;    ///< rate-limited drops (trailer)
+
+    // Time-series digest (report only).
+    std::uint64_t samples = 0;
+    double peak_rss_bytes = 0.0;
+
+    // Drain summary digest.
+    bool has_drain = false;
+    std::uint64_t designs_total = 0;
+    std::uint64_t claimed = 0;
+    std::uint64_t already_claimed = 0;
+    std::uint64_t failures = 0;
+    double drain_wall_ms = 0.0;
+    double busy_ms = 0.0; ///< sum of per-design wall times
+    std::vector<StragglerRow> designs;
+    std::vector<std::uint64_t> drain_buckets; ///< dense obs::Histogram layout
+    std::uint64_t drain_count = 0;
+    double drain_sum = 0.0;
+    double drain_min = 0.0;
+    double drain_max = 0.0;
+
+    void adoptEpoch(const JsonValue& doc) {
+        if (has_epoch || doc.kind != JsonValue::Kind::Obj || !doc.has("wall_epoch_us"))
+            return;
+        wall_epoch_us = numOr(doc, "wall_epoch_us", 0.0);
+        has_epoch = true;
+    }
+};
+
+void loadTrace(ProcessView& p, const std::string& path) {
+    const JsonValue doc = parseJson(readFileOrDie(path));
+    p.adoptEpoch(doc);
+    if (doc.kind != JsonValue::Kind::Obj || !doc.has("traceEvents")) {
+        std::cerr << "flh_obsmerge: " << path << ": no traceEvents array\n";
+        std::exit(1);
+    }
+    for (const JsonValue& e : doc.at("traceEvents").arr)
+        if (e.kind == JsonValue::Kind::Obj) p.trace_events.push_back(e);
+}
+
+void loadEvents(ProcessView& p, const std::string& path) {
+    std::istringstream in(readFileOrDie(path));
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const JsonValue v = parseJson(line);
+        if (first) {
+            first = false;
+            const std::string schema = strOr(v, "schema", "");
+            if (schema == "flh.obs.events/1") {
+                p.adoptEpoch(v);
+                continue; // header line, not an event
+            }
+        }
+        if (strOr(v, "event", "") == "sink_close") {
+            if (v.has("fields"))
+                p.events_dropped += static_cast<std::uint64_t>(
+                    numOr(v.at("fields"), "dropped_rate_limited", 0.0));
+            continue;
+        }
+        p.log_events.push_back(v);
+    }
+}
+
+void loadTimeseries(ProcessView& p, const std::string& path) {
+    const JsonValue doc = parseJson(readFileOrDie(path));
+    p.adoptEpoch(doc);
+    if (doc.kind != JsonValue::Kind::Obj || !doc.has("rows")) return;
+    // Schema pins columns[1] to rss_bytes (see Sampler::timeseriesJson).
+    for (const JsonValue& row : doc.at("rows").arr) {
+        if (row.kind != JsonValue::Kind::Arr || row.arr.size() < 2) continue;
+        ++p.samples;
+        p.peak_rss_bytes = std::max(p.peak_rss_bytes, row.arr[1].num);
+    }
+}
+
+void loadDrain(ProcessView& p, const std::string& path) {
+    const JsonValue doc = parseJson(readFileOrDie(path));
+    const std::string schema = strOr(doc, "schema", "");
+    if (schema != "flh.flow.drain/2") {
+        std::cerr << "flh_obsmerge: " << path << ": unsupported drain schema '" << schema
+                  << "'\n";
+        std::exit(1);
+    }
+    p.has_drain = true;
+    p.designs_total = static_cast<std::uint64_t>(numOr(doc, "designs_total", 0.0));
+    p.claimed = static_cast<std::uint64_t>(numOr(doc, "claimed", 0.0));
+    p.already_claimed = static_cast<std::uint64_t>(numOr(doc, "already_claimed", 0.0));
+    p.failures = static_cast<std::uint64_t>(numOr(doc, "failures", 0.0));
+    p.drain_wall_ms = numOr(doc, "drain_wall_ms", 0.0);
+    if (doc.has("designs")) {
+        for (const JsonValue& d : doc.at("designs").arr) {
+            StragglerRow row;
+            row.design = strOr(d, "name", "?");
+            row.drainer = p.label;
+            row.wall_ms = numOr(d, "wall_ms", 0.0);
+            row.failed = d.has("failed") && d.at("failed").b;
+            p.busy_ms += row.wall_ms;
+            p.designs.push_back(std::move(row));
+        }
+    }
+    p.drain_buckets.assign(obs::Histogram::kBucketCount, 0);
+    if (doc.has("drain_ms")) {
+        const JsonValue& h = doc.at("drain_ms");
+        p.drain_count = static_cast<std::uint64_t>(numOr(h, "count", 0.0));
+        p.drain_sum = numOr(h, "sum", 0.0);
+        p.drain_min = numOr(h, "min", 0.0);
+        p.drain_max = numOr(h, "max", 0.0);
+        if (h.has("buckets")) {
+            for (const JsonValue& pair : h.at("buckets").arr) {
+                if (pair.kind != JsonValue::Kind::Arr || pair.arr.size() != 2) continue;
+                const std::size_t idx = static_cast<std::size_t>(pair.arr[0].num);
+                if (idx < p.drain_buckets.size())
+                    p.drain_buckets[idx] += static_cast<std::uint64_t>(pair.arr[1].num);
+            }
+        }
+    }
+}
+
+/// An event queued for the merged trace: metadata rows sort ahead of
+/// timed rows, timed rows sort by shifted timestamp.
+struct MergedEvent {
+    bool meta = false;
+    double ts = 0.0;
+    JsonValue ev;
+};
+
+JsonValue numValue(double v) {
+    JsonValue j;
+    j.kind = JsonValue::Kind::Num;
+    j.num = v;
+    return j;
+}
+
+JsonValue strValue(std::string s) {
+    JsonValue j;
+    j.kind = JsonValue::Kind::Str;
+    j.str = std::move(s);
+    return j;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    cli::ArgScan scan(argc, argv, "flh_obsmerge", kUsage);
+    std::vector<std::string> traces, drains, events, timeseries, labels;
+    std::string out_path = "fleet_trace.json";
+    std::string report_path = "fleet_report.json";
+    std::size_t top_k = 5;
+    bool quiet = false;
+
+    while (scan.next()) {
+        if (scan.is("--traces")) traces = scan.list();
+        else if (scan.is("--drains")) drains = scan.list();
+        else if (scan.is("--events")) events = scan.list();
+        else if (scan.is("--timeseries")) timeseries = scan.list();
+        else if (scan.is("--labels")) labels = scan.list();
+        else if (scan.is("--out")) out_path = scan.value();
+        else if (scan.is("--report")) report_path = scan.value();
+        else if (scan.is("--top")) top_k = scan.num<std::size_t>();
+        else if (scan.is("--quiet")) quiet = true;
+        else scan.unknownOption();
+    }
+
+    const std::size_t n = std::max({traces.size(), drains.size(), events.size(),
+                                    timeseries.size(), labels.size()});
+    if (n == 0) scan.usageError("no inputs: pass at least one of --traces/--drains/...");
+    const auto checkLen = [&](const std::vector<std::string>& list, const char* flag) {
+        if (!list.empty() && list.size() != n)
+            scan.usageError(std::string(flag) + " has " + std::to_string(list.size()) +
+                            " entries, expected " + std::to_string(n));
+    };
+    checkLen(traces, "--traces");
+    checkLen(drains, "--drains");
+    checkLen(events, "--events");
+    checkLen(timeseries, "--timeseries");
+    checkLen(labels, "--labels");
+
+    const auto slot = [](const std::vector<std::string>& list, std::size_t i) {
+        return i < list.size() && list[i] != "-" ? list[i] : std::string();
+    };
+
+    std::vector<ProcessView> procs(n);
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            ProcessView& p = procs[i];
+            p.label = slot(labels, i).empty() ? "proc-" + std::to_string(i + 1)
+                                              : labels[i];
+            const std::string tp = slot(traces, i);
+            const std::string ep = slot(events, i);
+            const std::string sp = slot(timeseries, i);
+            const std::string dp = slot(drains, i);
+            if (!tp.empty()) loadTrace(p, tp);
+            if (!ep.empty()) loadEvents(p, ep);
+            if (!sp.empty()) loadTimeseries(p, sp);
+            if (!dp.empty()) loadDrain(p, dp);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "flh_obsmerge: " << e.what() << "\n";
+        return 1;
+    }
+
+    // Clock alignment: the earliest wall anchor becomes the fleet origin;
+    // each process's steady timestamps shift by its wall delta. A process
+    // with no anchor stays unshifted (best effort, still viewable).
+    double min_epoch = 0.0;
+    bool any_epoch = false;
+    for (const ProcessView& p : procs) {
+        if (!p.has_epoch) continue;
+        min_epoch = any_epoch ? std::min(min_epoch, p.wall_epoch_us) : p.wall_epoch_us;
+        any_epoch = true;
+    }
+    for (ProcessView& p : procs)
+        p.offset_us = p.has_epoch ? p.wall_epoch_us - min_epoch : 0.0;
+
+    // Build the merged event list: re-pid, shift, fold event logs in as
+    // instant events on a dedicated tid-0 lane per process.
+    std::vector<MergedEvent> merged;
+    for (std::size_t i = 0; i < n; ++i) {
+        ProcessView& p = procs[i];
+        const double pid = static_cast<double>(i + 1);
+        bool saw_process_name = false;
+        for (JsonValue& e : p.trace_events) {
+            MergedEvent m;
+            e.obj["pid"] = numValue(pid);
+            if (strOr(e, "ph", "") == "M") {
+                m.meta = true;
+                if (strOr(e, "name", "") == "process_name") {
+                    saw_process_name = true;
+                    e.obj["args"].obj["name"] = strValue(p.label);
+                }
+            } else if (e.has("ts")) {
+                e.obj["ts"] = numValue(e.at("ts").num + p.offset_us);
+                m.ts = e.at("ts").num;
+            }
+            m.ev = std::move(e);
+            merged.push_back(std::move(m));
+        }
+        if (!saw_process_name &&
+            (!p.log_events.empty() || !p.trace_events.empty())) {
+            JsonValue meta;
+            meta.kind = JsonValue::Kind::Obj;
+            meta.obj["name"] = strValue("process_name");
+            meta.obj["ph"] = strValue("M");
+            meta.obj["pid"] = numValue(pid);
+            meta.obj["args"].kind = JsonValue::Kind::Obj;
+            meta.obj["args"].obj["name"] = strValue(p.label);
+            merged.push_back(MergedEvent{true, 0.0, std::move(meta)});
+        }
+        if (!p.log_events.empty()) {
+            JsonValue meta;
+            meta.kind = JsonValue::Kind::Obj;
+            meta.obj["name"] = strValue("thread_name");
+            meta.obj["ph"] = strValue("M");
+            meta.obj["pid"] = numValue(pid);
+            meta.obj["tid"] = numValue(0.0);
+            meta.obj["args"].kind = JsonValue::Kind::Obj;
+            meta.obj["args"].obj["name"] = strValue("events");
+            merged.push_back(MergedEvent{true, 0.0, std::move(meta)});
+        }
+        for (const JsonValue& rec : p.log_events) {
+            MergedEvent m;
+            m.ts = numOr(rec, "ts_us", 0.0) + p.offset_us;
+            JsonValue e;
+            e.kind = JsonValue::Kind::Obj;
+            e.obj["name"] =
+                strValue(strOr(rec, "component", "?") + "/" + strOr(rec, "event", "?"));
+            e.obj["cat"] = strValue("event");
+            e.obj["ph"] = strValue("i");
+            e.obj["s"] = strValue("p");
+            e.obj["ts"] = numValue(m.ts);
+            e.obj["pid"] = numValue(pid);
+            e.obj["tid"] = numValue(0.0);
+            JsonValue args;
+            args.kind = JsonValue::Kind::Obj;
+            args.obj["level"] = strValue(strOr(rec, "level", "info"));
+            if (rec.has("trace_id")) args.obj["trace_id"] = rec.at("trace_id");
+            if (rec.has("fields"))
+                for (const auto& [k, v] : rec.at("fields").obj) args.obj[k] = v;
+            e.obj["args"] = std::move(args);
+            m.ev = std::move(e);
+            merged.push_back(std::move(m));
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const MergedEvent& a, const MergedEvent& b) {
+                         if (a.meta != b.meta) return a.meta;
+                         if (a.meta) return false;
+                         return a.ts < b.ts;
+                     });
+
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.kv("displayTimeUnit", "ms");
+        w.kv("wall_epoch_us", min_epoch);
+        w.key("traceEvents");
+        w.beginArray();
+        for (const MergedEvent& m : merged) writeValue(w, m.ev);
+        w.endArray();
+        w.endObject();
+        cli::writeFileOrDie("flh_obsmerge", out_path, w.str() + "\n");
+    }
+
+    // Fleet rollups: straggler table + histogram merge by bucket addition.
+    std::vector<StragglerRow> stragglers;
+    std::vector<std::uint64_t> fleet_buckets(obs::Histogram::kBucketCount, 0);
+    std::uint64_t fleet_count = 0;
+    std::uint64_t claimed_total = 0;
+    std::uint64_t designs_total = 0;
+    std::uint64_t failures_total = 0;
+    double fleet_sum = 0.0;
+    double fleet_min = 0.0;
+    double fleet_max = 0.0;
+    bool fleet_nonempty = false;
+    for (const ProcessView& p : procs) {
+        if (!p.has_drain) continue;
+        designs_total = std::max(designs_total, p.designs_total);
+        claimed_total += p.claimed;
+        failures_total += p.failures;
+        for (const StragglerRow& r : p.designs) stragglers.push_back(r);
+        for (std::size_t i = 0; i < fleet_buckets.size(); ++i)
+            fleet_buckets[i] += p.drain_buckets[i];
+        fleet_count += p.drain_count;
+        fleet_sum += p.drain_sum;
+        if (p.drain_count > 0) {
+            fleet_min = fleet_nonempty ? std::min(fleet_min, p.drain_min) : p.drain_min;
+            fleet_max = fleet_nonempty ? std::max(fleet_max, p.drain_max) : p.drain_max;
+            fleet_nonempty = true;
+        }
+    }
+    std::stable_sort(stragglers.begin(), stragglers.end(),
+                     [](const StragglerRow& a, const StragglerRow& b) {
+                         return a.wall_ms > b.wall_ms;
+                     });
+    if (stragglers.size() > top_k) stragglers.resize(top_k);
+
+    std::uint64_t timed_events = 0;
+    for (const MergedEvent& m : merged)
+        if (!m.meta) ++timed_events;
+
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.kv("schema", "flh.obs.fleet/1");
+        w.kv("wall_epoch_us", min_epoch);
+        w.kv("trace_events", timed_events);
+        w.key("processes");
+        w.beginArray();
+        for (std::size_t i = 0; i < n; ++i) {
+            const ProcessView& p = procs[i];
+            w.beginObject();
+            w.kv("label", p.label);
+            w.kv("pid", static_cast<std::uint64_t>(i + 1));
+            w.kv("wall_epoch_us", p.wall_epoch_us);
+            w.kv("offset_us", p.offset_us);
+            w.kv("spans", static_cast<std::uint64_t>(p.trace_events.size()));
+            w.kv("events", static_cast<std::uint64_t>(p.log_events.size()));
+            w.kv("events_dropped", p.events_dropped);
+            w.kv("samples", p.samples);
+            w.kv("peak_rss_bytes", p.peak_rss_bytes);
+            if (p.has_drain) {
+                w.key("drain");
+                w.beginObject();
+                w.kv("claimed", p.claimed);
+                w.kv("already_claimed", p.already_claimed);
+                w.kv("failures", p.failures);
+                w.kv("drain_wall_ms", p.drain_wall_ms);
+                w.kv("busy_ms", p.busy_ms);
+                w.kv("utilization",
+                     p.drain_wall_ms > 0.0 ? p.busy_ms / p.drain_wall_ms : 0.0);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.kv("designs_total", designs_total);
+        w.kv("claimed_total", claimed_total);
+        w.kv("failures_total", failures_total);
+        w.key("stragglers");
+        w.beginArray();
+        for (const StragglerRow& r : stragglers) {
+            w.beginObject();
+            w.kv("design", r.design);
+            w.kv("drainer", r.drainer);
+            w.kv("wall_ms", r.wall_ms);
+            w.kv("failed", r.failed);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("drain_ms");
+        w.beginObject();
+        w.kv("count", fleet_count);
+        w.kv("sum", fleet_sum);
+        w.kv("min", fleet_min);
+        w.kv("max", fleet_max);
+        w.kv("p50", obs::percentileFromBuckets(fleet_buckets, 0.50, fleet_min, fleet_max));
+        w.kv("p95", obs::percentileFromBuckets(fleet_buckets, 0.95, fleet_min, fleet_max));
+        w.kv("p99", obs::percentileFromBuckets(fleet_buckets, 0.99, fleet_min, fleet_max));
+        w.key("buckets");
+        w.beginArray();
+        for (std::size_t i = 0; i < fleet_buckets.size(); ++i) {
+            if (fleet_buckets[i] == 0) continue;
+            w.beginArray();
+            w.value(static_cast<std::uint64_t>(i));
+            w.value(fleet_buckets[i]);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+        w.endObject();
+        cli::writeFileOrDie("flh_obsmerge", report_path, w.str() + "\n");
+    }
+
+    if (!quiet) {
+        std::cout << "flh_obsmerge: merged " << n << " processes, " << timed_events
+                  << " trace events -> " << out_path << "\n";
+        if (claimed_total > 0) {
+            std::cout << "fleet: " << claimed_total << "/" << designs_total
+                      << " designs drained, " << failures_total << " failures\n";
+            for (const StragglerRow& r : stragglers)
+                std::cout << "  straggler " << r.design << " (" << r.drainer << "): "
+                          << fmt(r.wall_ms, 1) << " ms" << (r.failed ? " FAILED" : "")
+                          << "\n";
+        }
+        std::cout << "report: " << report_path << "\n";
+    }
+    return 0;
+}

@@ -14,6 +14,7 @@
 // The process runs until a shutdown request or SIGINT/SIGTERM, then writes
 // the --trace/--metrics exports (telemetry spans all requests served) and
 // prints a final stats line. flh_client is the matching load generator.
+#include "obs/eventlog.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
@@ -52,6 +53,9 @@ constexpr const char* kUsage = R"(usage: flh_serve [options]
                        telemetry; spans carry per-request trace ids)
   --metrics FILE       write flat telemetry metrics on exit (enables
                        telemetry)
+  --events FILE        write a structured JSONL event log (overload
+                       rejections, coalesced batches, session drops;
+                       independent of --trace)
   --quiet              suppress startup/summary lines
   --help
 )";
@@ -95,6 +99,19 @@ int main(int argc, char** argv) {
     if (common.wantsTelemetry() || sample_ms > 0) {
         obs::setEnabled(true);
         obs::setThreadLabel("main");
+    }
+
+    // Event sink: separate gate from span telemetry, closed (with its
+    // drop-count trailer) on every return path below.
+    struct EventSinkCloser {
+        ~EventSinkCloser() { obs::closeEventSink(); }
+    } event_sink_closer;
+    if (!common.events_path.empty()) {
+        obs::setEventLogEnabled(true);
+        if (!obs::openEventSink(common.events_path)) {
+            std::cerr << "flh_serve: cannot write " << common.events_path << "\n";
+            return 1;
+        }
     }
 
     // SIGINT/SIGTERM stop the server cleanly: the signals are blocked on

@@ -1,5 +1,6 @@
 #include "flow/cache.hpp"
 
+#include "obs/eventlog.hpp"
 #include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/filelock.hpp"
@@ -431,6 +432,14 @@ GcResult FlowCache::gc() {
                     res.evicted_bytes += v->bytes;
                     evictions_.fetch_add(1, std::memory_order_relaxed);
                     CacheTelemetry::get().evictions.add(1);
+                    // Per-entry Debug events; the event log's token bucket
+                    // bounds a mass eviction, and the gc_done summary below
+                    // always carries the exact totals.
+                    obs::logEvent(obs::EventLevel::Debug, "cache", "gc_evict",
+                                  {{"key", v->key_hex.substr(0, 16)},
+                                   {"bytes", v->bytes},
+                                   {"idle_ms", now > v->touch_ms ? now - v->touch_ms
+                                                                 : std::uint64_t{0}}});
                 } else {
                     live_bytes += v->bytes; // already gone elsewhere
                     ++live_entries;
@@ -447,6 +456,13 @@ GcResult FlowCache::gc() {
     scanned_bytes_.store(res.live_bytes, std::memory_order_relaxed);
     CacheTelemetry::get().entries.set(static_cast<std::int64_t>(res.live_entries));
     CacheTelemetry::get().bytes.set(static_cast<std::int64_t>(res.live_bytes));
+    obs::logEvent(obs::EventLevel::Info, "cache", "gc_done",
+                  {{"scanned", res.scanned_entries},
+                   {"evicted", res.evicted_entries},
+                   {"evicted_bytes", res.evicted_bytes},
+                   {"swept_temps", res.swept_temps},
+                   {"live_entries", res.live_entries},
+                   {"live_bytes", res.live_bytes}});
     return res;
 }
 

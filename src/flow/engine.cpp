@@ -121,6 +121,10 @@ void runTask(TaskTable& tt, std::size_t design, std::size_t stage, FlowCache* ca
         tel.failures.add(1);
     }
     rec.wall_ms = msSince(start);
+    // Per-stage latency distribution (registry lookup only when recording;
+    // stage names are few, so the map stays tiny).
+    if (obs::enabled())
+        obs::histogram("flow.stage." + def.name + ".wall_ms").record(rec.wall_ms);
 }
 
 } // namespace

@@ -1,8 +1,11 @@
 #include "flow/manifest.hpp"
 
+#include "obs/eventlog.hpp"
+#include "obs/telemetry.hpp"
 #include "util/filelock.hpp"
 #include "util/json.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -107,9 +110,15 @@ DesignInput resolveManifestEntry(const ManifestEntry& entry) {
 }
 
 std::string DrainReport::summaryJson(const CacheStats& cache_stats) const {
+    // Per-design drain-time distribution, in the shared obs::Histogram
+    // bucket layout so N drainers' summaries merge by bucket addition.
+    obs::Histogram drain_hist;
+    for (const DrainedDesign& d : drained) drain_hist.observe(d.wall_ms);
+    const obs::Histogram::Summary hs = drain_hist.summarize();
+
     JsonWriter w;
     w.beginObject();
-    w.kv("schema", "flh.flow.drain/1");
+    w.kv("schema", "flh.flow.drain/2");
     w.kv("designs_total", static_cast<std::uint64_t>(total));
     w.kv("claimed", static_cast<std::uint64_t>(claimed));
     w.kv("already_claimed", static_cast<std::uint64_t>(already_claimed));
@@ -118,6 +127,38 @@ std::string DrainReport::summaryJson(const CacheStats& cache_stats) const {
     w.kv("cache_misses", static_cast<std::uint64_t>(report.misses()));
     w.kv("failures", static_cast<std::uint64_t>(report.failures()));
     w.kv("hit_rate", report.hitRate());
+    w.kv("drain_wall_ms", drain_wall_ms);
+    w.key("designs");
+    w.beginArray();
+    for (const DrainedDesign& d : drained) {
+        w.beginObject();
+        w.kv("name", d.name);
+        w.kv("wall_ms", d.wall_ms);
+        w.kv("failed", d.failed);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("drain_ms");
+    w.beginObject();
+    w.kv("count", hs.count);
+    w.kv("sum", hs.sum);
+    w.kv("min", hs.min);
+    w.kv("max", hs.max);
+    w.kv("p50", hs.p50);
+    w.kv("p95", hs.p95);
+    w.kv("p99", hs.p99);
+    w.key("buckets");
+    w.beginArray();
+    const std::vector<std::uint64_t> buckets = drain_hist.bucketCounts();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0) continue;
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(i));
+        w.value(buckets[i]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
     w.key("cache");
     cache_stats.writeJson(w);
     w.endObject();
@@ -145,21 +186,32 @@ DrainReport drainManifest(const Manifest& manifest, const std::string& claims_di
     DrainReport out;
     out.total = manifest.designs.size();
     std::vector<StageRecord> records;
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point pass_start = Clock::now();
     for (std::size_t i = 0; i < manifest.designs.size(); ++i) {
         const std::string stem = claims_dir + "/" + claimStem(resolved[i].name);
         if (!claimFile(stem + ".claim", claim_body + "design=" + resolved[i].name + "\n")) {
             ++out.already_claimed;
+            obs::logEvent(obs::EventLevel::Debug, "drain", "claim_race",
+                          {{"design", resolved[i].name}});
             continue;
         }
         ++out.claimed;
         const std::vector<DesignInput> one = {resolved[i]};
+        const Clock::time_point t0 = Clock::now();
         const RunReport rep = runFlow(graph, one, run_opts);
+        const double design_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        out.drained.push_back(DrainedDesign{resolved[i].name, design_ms, rep.failures() > 0});
+        if (obs::enabled()) obs::histogram("flow.drain.design_ms").record(design_ms);
         for (const StageRecord& r : rep.records()) records.push_back(r);
         // The done marker lands atomically after the stage artifacts are
         // all persisted — a crash in between leaves a claim without a
         // marker, the signal that the design needs a re-drain.
         replaceFileAtomic(stem + ".done", rep.failures() > 0 ? "failed\n" : "ok\n");
     }
+    out.drain_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - pass_start).count();
     out.report = RunReport(std::string(kFlowCodeVersion), std::move(records), opts.threads,
                            opts.sim_threads);
     return out;

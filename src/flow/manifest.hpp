@@ -58,16 +58,29 @@ struct Manifest {
 /// designInputFor, name override, attrs appended (';'-joined).
 [[nodiscard]] DesignInput resolveManifestEntry(const ManifestEntry& entry);
 
+/// One claimed design's drain outcome — the per-design timing feedstock
+/// for straggler analysis in merged fleet reports.
+struct DrainedDesign {
+    std::string name;
+    double wall_ms = 0.0;
+    bool failed = false;
+};
+
 /// Outcome of one drainer's pass over a manifest.
 struct DrainReport {
     std::size_t total = 0;           ///< designs in the manifest
     std::size_t claimed = 0;         ///< designs this process won and ran
     std::size_t already_claimed = 0; ///< designs another process holds
+    std::vector<DrainedDesign> drained; ///< claimed designs, in claim order
+    double drain_wall_ms = 0.0;         ///< the whole pass, claim races included
     RunReport report;                ///< stage records of the claimed designs
 
-    /// Per-process drain summary (schema flh.flow.drain/1): claim counts,
-    /// cache hit/miss/failure totals, and the cache stats snapshot. The
-    /// fleet CI job sums these across drainers for consistency checks.
+    /// Per-process drain summary (schema flh.flow.drain/2): claim counts,
+    /// cache hit/miss/failure totals, the cache stats snapshot, per-design
+    /// wall times, and a per-design drain-time histogram (summary +
+    /// buckets, obs::Histogram bucket rules) that flh_obsmerge merges
+    /// fleet-wide by bucket addition. The fleet CI job sums these across
+    /// drainers for consistency checks.
     [[nodiscard]] std::string summaryJson(const CacheStats& cache_stats) const;
 };
 

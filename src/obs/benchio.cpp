@@ -1,6 +1,7 @@
 #include "obs/benchio.hpp"
 
 #include "util/json.hpp"
+#include "util/stats.hpp"
 
 #include <algorithm>
 #include <cstdlib>
@@ -10,18 +11,6 @@
 
 namespace flh::obs {
 
-namespace {
-
-/// Median of sorted[lo, hi) — the halves-method building block.
-double medianOf(const std::vector<double>& sorted, std::size_t lo, std::size_t hi) {
-    const std::size_t n = hi - lo;
-    if (n == 0) return 0.0;
-    const std::size_t mid = lo + n / 2;
-    return (n % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
-}
-
-} // namespace
-
 RepStats RepStats::of(std::vector<double> samples) {
     RepStats s;
     s.reps = static_cast<int>(samples.size());
@@ -30,13 +19,14 @@ RepStats RepStats::of(std::vector<double> samples) {
     s.min = samples.front();
     s.max = samples.back();
     const std::size_t n = samples.size();
-    s.median = medianOf(samples, 0, n);
+    s.median = stats::medianSorted(samples.data(), n);
     if (n == 1) {
         s.q1 = s.q3 = s.median;
     } else {
-        // Lower/upper halves exclude the middle element for odd n.
-        s.q1 = medianOf(samples, 0, n / 2);
-        s.q3 = medianOf(samples, (n + 1) / 2, n);
+        // Halves-method quartiles: medians of the lower/upper halves,
+        // excluding the middle element for odd n.
+        s.q1 = stats::medianSorted(samples.data(), n / 2);
+        s.q3 = stats::medianSorted(samples.data() + (n + 1) / 2, n - (n + 1) / 2);
     }
     return s;
 }

@@ -1,0 +1,238 @@
+#include "obs/eventlog.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace flh::obs {
+
+namespace detail {
+std::atomic<bool> g_events_enabled{false};
+} // namespace detail
+
+const char* eventLevelName(EventLevel level) noexcept {
+    switch (level) {
+    case EventLevel::Debug: return "debug";
+    case EventLevel::Info: return "info";
+    case EventLevel::Warn: return "warn";
+    case EventLevel::Error: return "error";
+    }
+    return "info";
+}
+
+namespace {
+
+struct EventRecord {
+    double ts_us = 0.0;
+    EventLevel level = EventLevel::Info;
+    std::string component;
+    std::string event;
+    std::string trace_id;
+    std::vector<EventKv> fields;
+};
+
+/// Classic token bucket; time base is the telemetry clock (nowUs), so
+/// refill works identically in tests that record bursts back-to-back.
+struct TokenBucket {
+    double tokens = 0.0;
+    double last_us = 0.0;
+};
+
+struct EventLog {
+    std::mutex mu;
+    EventLogConfig cfg;
+    std::deque<EventRecord> ring;
+    std::map<std::pair<std::string, int>, TokenBucket> buckets;
+    std::ofstream sink;
+    bool sink_open = false;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped_rate_limited = 0;
+    std::uint64_t evicted_ring = 0;
+};
+
+EventLog& eventLog() {
+    static EventLog* e = new EventLog; // leaked, same lifetime rule as the
+    return *e;                         // telemetry registry
+}
+
+/// One event as a single-line JSON object (no trailing newline).
+void writeEventJson(JsonWriter& w, const EventRecord& rec) {
+    w.beginObject();
+    w.kv("ts_us", rec.ts_us);
+    w.kv("level", eventLevelName(rec.level));
+    w.kv("component", rec.component);
+    w.kv("event", rec.event);
+    if (!rec.trace_id.empty()) w.kv("trace_id", rec.trace_id);
+    if (!rec.fields.empty()) {
+        w.key("fields");
+        w.beginObject();
+        for (const EventKv& f : rec.fields) {
+            if (f.is_num)
+                w.kv(f.key, f.num);
+            else
+                w.kv(f.key, f.str);
+        }
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/// JsonWriter pretty-prints with raw newlines + indent; the sink needs
+/// one record per line. Embedded newlines inside string values are
+/// escaped by the writer, so every raw '\n' (and the indent spaces right
+/// after it) is formatter whitespace and safe to strip.
+std::string compactLine(const std::string& pretty) {
+    std::string out;
+    out.reserve(pretty.size());
+    for (std::size_t i = 0; i < pretty.size(); ++i) {
+        if (pretty[i] == '\n') {
+            while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+            continue;
+        }
+        out += pretty[i];
+    }
+    return out;
+}
+
+/// Appends one fully formed record under the lock: rate limit, sink, ring.
+void commitLocked(EventLog& el, EventRecord rec) {
+    if (el.sink_open) {
+        JsonWriter w;
+        writeEventJson(w, rec);
+        el.sink << compactLine(w.str()) << '\n';
+    }
+    if (el.cfg.ring_capacity == 0) return;
+    while (el.ring.size() >= el.cfg.ring_capacity) {
+        el.ring.pop_front();
+        ++el.evicted_ring;
+    }
+    el.ring.push_back(std::move(rec));
+}
+
+} // namespace
+
+void setEventLogEnabled(bool on) noexcept {
+    detail::g_events_enabled.store(on, std::memory_order_relaxed);
+    if (on) (void)nowUs(); // pin the shared epoch before the first event
+}
+
+void logEvent(EventLevel level, std::string_view component, std::string_view event,
+              std::initializer_list<EventKv> fields) {
+    if (!eventLogEnabled()) return;
+    const double ts = nowUs();
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+
+    auto [it, fresh] = el.buckets.try_emplace(
+        std::make_pair(std::string(component), static_cast<int>(level)));
+    TokenBucket& tb = it->second;
+    if (fresh) {
+        tb.tokens = el.cfg.burst;
+        tb.last_us = ts;
+    } else {
+        tb.tokens = std::min(el.cfg.burst,
+                             tb.tokens + (ts - tb.last_us) * el.cfg.tokens_per_sec / 1e6);
+        tb.last_us = ts;
+    }
+    if (tb.tokens < 1.0) {
+        ++el.dropped_rate_limited;
+        return;
+    }
+    tb.tokens -= 1.0;
+
+    EventRecord rec;
+    rec.ts_us = ts;
+    rec.level = level;
+    rec.component = std::string(component);
+    rec.event = std::string(event);
+    rec.trace_id = currentTraceId();
+    rec.fields.assign(fields.begin(), fields.end());
+    commitLocked(el, std::move(rec));
+    ++el.emitted;
+}
+
+void configureEventLog(const EventLogConfig& cfg) {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    el.cfg = cfg;
+    el.ring.clear();
+    el.buckets.clear();
+}
+
+bool openEventSink(const std::string& path) {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    if (el.sink_open) el.sink.close();
+    el.sink.open(path, std::ios::trunc);
+    el.sink_open = static_cast<bool>(el.sink);
+    if (!el.sink_open) return false;
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.obs.events/1");
+    w.kv("wall_epoch_us", wallEpochUs());
+    w.endObject();
+    el.sink << compactLine(w.str()) << '\n';
+    return true;
+}
+
+void closeEventSink() {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    if (!el.sink_open) return;
+    // Trailer: the sink records its own truncation so a merged view can
+    // show "N events were dropped here" instead of silently missing them.
+    EventRecord rec;
+    rec.ts_us = nowUs();
+    rec.component = "obs";
+    rec.event = "sink_close";
+    rec.fields.push_back(EventKv("emitted", el.emitted));
+    rec.fields.push_back(EventKv("dropped_rate_limited", el.dropped_rate_limited));
+    rec.fields.push_back(EventKv("evicted_ring", el.evicted_ring));
+    JsonWriter w;
+    writeEventJson(w, rec);
+    el.sink << compactLine(w.str()) << '\n';
+    el.sink.close();
+    el.sink_open = false;
+}
+
+EventLogStats eventLogStats() {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    return EventLogStats{el.emitted, el.dropped_rate_limited, el.evicted_ring};
+}
+
+std::string eventsJson() {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "flh.obs.events/1");
+    w.kv("wall_epoch_us", wallEpochUs());
+    w.kv("emitted", el.emitted);
+    w.kv("dropped_rate_limited", el.dropped_rate_limited);
+    w.kv("evicted_ring", el.evicted_ring);
+    w.key("events");
+    w.beginArray();
+    for (const EventRecord& rec : el.ring) writeEventJson(w, rec);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+void resetEventLog() {
+    EventLog& el = eventLog();
+    std::lock_guard<std::mutex> lock(el.mu);
+    el.ring.clear();
+    el.buckets.clear();
+    el.emitted = 0;
+    el.dropped_rate_limited = 0;
+    el.evicted_ring = 0;
+}
+
+} // namespace flh::obs

@@ -229,6 +229,8 @@ std::string Sampler::timeseriesJson() const {
     JsonWriter w;
     w.beginObject();
     w.kv("schema", "flh.obs.timeseries/1");
+    // Cross-process alignment anchor, same convention as traceJson().
+    w.kv("wall_epoch_us", wallEpochUs());
     w.kv("period_ms", static_cast<std::uint64_t>(opts_.period_ms));
     w.kv("samples", samples_.size());
     w.key("columns");

@@ -2,7 +2,9 @@
 
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,6 +49,7 @@ struct Registry {
     // Ordered maps: export iterates them directly in sorted-name order.
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
 };
 
 Registry& registry() {
@@ -54,10 +57,27 @@ Registry& registry() {
     return *r;                         // outlive static destruction order
 }
 
-Clock::time_point processEpoch() {
-    static const Clock::time_point t0 = Clock::now();
-    return t0;
+/// The steady-clock zero that nowUs() measures from, plus the wall clock
+/// captured at the same instant — the pair is the cross-process alignment
+/// anchor flh_obsmerge uses to put N traces on one timeline.
+struct Epochs {
+    Clock::time_point steady;
+    double wall_us = 0.0;
+};
+
+const Epochs& epochs() {
+    static const Epochs e = [] {
+        Epochs x;
+        x.steady = Clock::now();
+        x.wall_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+        return x;
+    }();
+    return e;
 }
+
+Clock::time_point processEpoch() { return epochs().steady; }
 
 /// The calling thread's lane, registered on first use.
 Lane& myLane() {
@@ -91,6 +111,13 @@ void reset() {
         g->v_.store(0, std::memory_order_relaxed);
         g->peak_.store(0, std::memory_order_relaxed);
     }
+    for (auto& [name, h] : r.histograms) {
+        h->count_.store(0, std::memory_order_relaxed);
+        h->sum_.store(0.0, std::memory_order_relaxed);
+        h->min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+        h->max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+        for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    }
 }
 
 Counter& counter(std::string_view name) {
@@ -109,6 +136,115 @@ Gauge& gauge(std::string_view name) {
     if (it == r.gauges.end())
         it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
     return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.histograms.find(name);
+    if (it == r.histograms.end())
+        it = r.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    return *it->second;
+}
+
+// ---- histogram bucket math ---------------------------------------------
+//
+// Powers of two subdivided into 16 linear sub-buckets. frexp() gives
+// v = frac * 2^exp with frac in [0.5, 1); the sub-bucket is the linear
+// position of frac within that binade. Exponents below kMinExp underflow
+// into bucket 0; anything past the top clamps into the last bucket.
+
+namespace {
+constexpr int kSubBuckets = 16;
+constexpr int kMinExp = -20; // bucket 0 spans [0, 2^-21 * 17/16)
+} // namespace
+
+std::size_t histogramBucketIndex(double v) noexcept {
+    if (!(v > 0.0)) return 0; // zero, negatives, NaN
+    int exp = 0;
+    const double frac = std::frexp(v, &exp);
+    int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    const int e = exp - kMinExp;
+    if (e < 0) return 0;
+    const std::size_t idx =
+        static_cast<std::size_t>(e) * kSubBuckets + static_cast<std::size_t>(sub);
+    return std::min(idx, Histogram::kBucketCount - 1);
+}
+
+double histogramBucketLo(std::size_t idx) noexcept {
+    if (idx == 0) return 0.0;
+    if (idx >= Histogram::kBucketCount) idx = Histogram::kBucketCount - 1;
+    const int e = kMinExp + static_cast<int>(idx) / kSubBuckets;
+    const int sub = static_cast<int>(idx) % kSubBuckets;
+    // Lower edge: frac = 0.5 + sub/32 at exponent e, i.e. (1 + sub/16) * 2^(e-1).
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e - 1);
+}
+
+double histogramBucketHi(std::size_t idx) noexcept {
+    if (idx + 1 >= Histogram::kBucketCount) return std::numeric_limits<double>::infinity();
+    return histogramBucketLo(idx + 1);
+}
+
+double percentileFromBuckets(const std::vector<std::uint64_t>& buckets, double p,
+                             double min_v, double max_v) noexcept {
+    std::uint64_t count = 0;
+    for (const std::uint64_t b : buckets) count += b;
+    if (count == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * static_cast<double>(count - 1);
+    double value = 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const double bc = static_cast<double>(buckets[i]);
+        if (bc == 0.0) continue;
+        if (rank < acc + bc) {
+            const double lo = histogramBucketLo(i);
+            const double hi = histogramBucketHi(i);
+            // Samples assumed uniform within the bucket; rank - acc is the
+            // fractional position among this bucket's bc samples.
+            value = std::isfinite(hi) ? lo + (hi - lo) * ((rank - acc + 0.5) / bc) : lo;
+            break;
+        }
+        acc += bc;
+    }
+    if (min_v <= max_v) value = std::clamp(value, min_v, max_v);
+    return value;
+}
+
+void Histogram::observe(double v) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+    cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    buckets_[histogramBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+    std::vector<std::uint64_t> out(kBucketCount, 0);
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+Histogram::Summary Histogram::summarize() const {
+    Summary s;
+    s.count = count_.load(std::memory_order_relaxed);
+    if (s.count == 0) return s;
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    const std::vector<std::uint64_t> b = bucketCounts();
+    s.p50 = percentileFromBuckets(b, 0.50, s.min, s.max);
+    s.p95 = percentileFromBuckets(b, 0.95, s.min, s.max);
+    s.p99 = percentileFromBuckets(b, 0.99, s.min, s.max);
+    return s;
 }
 
 std::vector<MetricSnapshot> snapshotCounters() {
@@ -157,9 +293,10 @@ thread_local std::string t_trace_id;
 
 void setTraceId(std::string id) {
 #if FLH_OBS_COMPILED_IN
-    // Setting is gated on enabled() like every hook; clearing always works
-    // so a request scope never leaks its id past a mid-request disable.
-    if (!id.empty() && !enabled()) return;
+    // Deliberately ungated: trace context is identity propagation, not
+    // recording. The consumers (span record, logEvent) carry their own
+    // enable checks, and the event log's separate flag must still see
+    // request ids while full span tracing is off.
     t_trace_id = std::move(id);
 #else
     (void)id;
@@ -171,6 +308,8 @@ const std::string& currentTraceId() noexcept { return t_trace_id; }
 double nowUs() noexcept {
     return std::chrono::duration<double, std::micro>(Clock::now() - processEpoch()).count();
 }
+
+double wallEpochUs() noexcept { return epochs().wall_us; }
 
 #if FLH_OBS_COMPILED_IN
 
@@ -192,7 +331,6 @@ ScopedSpan::~ScopedSpan() {
 }
 
 ScopedTraceId::ScopedTraceId(std::string id) {
-    if (!enabled()) return;
     prev_ = t_trace_id;
     active_ = true;
     t_trace_id = std::move(id);
@@ -241,6 +379,9 @@ std::string traceJson() {
     JsonWriter w;
     w.beginObject();
     w.kv("displayTimeUnit", "ms");
+    // Extra top-level key (Chrome's viewer ignores unknown keys): the
+    // wall-clock anchor flh_obsmerge aligns multi-process traces with.
+    w.kv("wall_epoch_us", wallEpochUs());
     w.key("traceEvents");
     w.beginArray();
     w.beginObject();
@@ -329,6 +470,35 @@ std::string metricsJson() {
         w.beginObject();
         w.kv("value", g->value());
         w.kv("peak", g->peak());
+        w.endObject();
+    }
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto& [name, h] : r.histograms) {
+        const Histogram::Summary s = h->summarize();
+        w.key(name);
+        w.beginObject();
+        w.kv("count", s.count);
+        w.kv("sum", s.sum);
+        w.kv("min", s.min);
+        w.kv("max", s.max);
+        w.kv("p50", s.p50);
+        w.kv("p95", s.p95);
+        w.kv("p99", s.p99);
+        // Sparse [index, count] pairs: enough for a merger to rebuild the
+        // full distribution by bucket addition.
+        w.key("buckets");
+        w.beginArray();
+        const std::vector<std::uint64_t> b = h->bucketCounts();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            if (b[i] == 0) continue;
+            w.beginArray();
+            w.value(static_cast<std::uint64_t>(i));
+            w.value(b[i]);
+            w.endArray();
+        }
+        w.endArray();
         w.endObject();
     }
     w.endObject();

@@ -29,8 +29,11 @@
 // may still be appending to their own lanes.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -104,10 +107,79 @@ private:
     std::atomic<std::int64_t> peak_{0};
 };
 
+/// Log-bucketed latency/size histogram. Buckets are powers of two
+/// subdivided into 16 linear sub-buckets (~2 significant digits: a
+/// bucket midpoint is within ~3% of any sample it absorbs), 1024 fixed
+/// slots covering roughly [5e-7, 9e12] — microseconds through hours in
+/// either ms or us units. All state is relaxed atomics, so concurrent
+/// recorders never lose updates and never take a lock.
+///
+/// record() follows the same near-zero disabled path as Counter/Gauge
+/// (one inlined relaxed load, no allocation); observe() is the
+/// always-on variant for stats that are double-booked next to gated
+/// telemetry, like serve's request-latency breakdown.
+class Histogram {
+public:
+    static constexpr std::size_t kBucketCount = 1024;
+
+    void record(double v) noexcept {
+        if (enabled()) observe(v);
+    }
+    void observe(double v) noexcept;
+
+    /// Point-in-time rollup. Percentiles use the same fractional-rank
+    /// rule as stats::percentileSorted (rank p*(count-1)), interpolated
+    /// within the hit bucket and clamped to the observed [min, max].
+    struct Summary {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+    [[nodiscard]] Summary summarize() const;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+    /// Dense bucket snapshot (index -> count). Snapshot after recorders
+    /// quiesce for exact totals; a concurrent snapshot may lag count().
+    [[nodiscard]] std::vector<std::uint64_t> bucketCounts() const;
+
+private:
+    friend void reset();
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
+/// Bucket math, exposed so mergers (flh_obsmerge) and tests share the
+/// exact boundary rules. Buckets partition [0, inf): index 0 absorbs
+/// zero/negative/underflow, the last bucket absorbs overflow.
+[[nodiscard]] std::size_t histogramBucketIndex(double v) noexcept;
+/// Inclusive lower edge of bucket idx (0 for idx 0).
+[[nodiscard]] double histogramBucketLo(std::size_t idx) noexcept;
+/// Exclusive upper edge (== histogramBucketLo(idx+1); +inf for the last).
+[[nodiscard]] double histogramBucketHi(std::size_t idx) noexcept;
+
+/// Percentile estimate from bucket counts alone — what a merger computes
+/// after adding N processes' buckets element-wise. Same fractional-rank
+/// rule as the in-process Summary; the result is clamped to
+/// [min_v, max_v] when min_v <= max_v.
+[[nodiscard]] double percentileFromBuckets(const std::vector<std::uint64_t>& buckets, double p,
+                                           double min_v, double max_v) noexcept;
+
 /// Registry lookup (creates on first use). Slow path — cache the
 /// reference: `static obs::Counter& c = obs::counter("fault_sim.graded");`
 [[nodiscard]] Counter& counter(std::string_view name);
 [[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
 
 /// One registered metric's current value, snapshotted by name. The export
 /// and sampler paths read these; hot paths never do.
@@ -135,8 +207,10 @@ void setThreadLabel(std::string label);
 /// thread records carries it into the trace export as args.trace_id —
 /// which is how flh_serve threads one request's identity through the
 /// shared worker lanes (a lane interleaves many requests; the trace id is
-/// what groups one request's spans back together). Empty clears. No-op
-/// while disabled, like every other hook.
+/// what groups one request's spans back together). Empty clears. Unlike
+/// the recording hooks this is NOT gated on enabled(): trace context is
+/// identity propagation, and the event log (its own flag) must see
+/// request ids while full span tracing is off. The consumers are gated.
 void setTraceId(std::string id);
 
 /// The calling thread's current trace id ("" when none is set).
@@ -183,6 +257,13 @@ private:
 
 /// Microseconds since the process-wide telemetry epoch (first use).
 [[nodiscard]] double nowUs() noexcept;
+
+/// Wall clock (system_clock, microseconds since the Unix epoch) captured
+/// at the same instant the steady-clock epoch behind nowUs() was pinned.
+/// Cross-process mergers use it to shift each process's relative
+/// timestamps onto one shared timeline; traceJson(), the sampler's
+/// timeseries, and the event-log sink all embed it as wall_epoch_us.
+[[nodiscard]] double wallEpochUs() noexcept;
 
 /// Number of span ("X") events currently recorded across all lanes
 /// (counter samples are excluded).

@@ -74,6 +74,7 @@ std::string Request::toJson() const {
     w.kv("id", id);
     w.kv("type", toString(type));
     if (deadline_ms > 0.0) w.kv("deadline_ms", deadline_ms);
+    if (!trace.empty()) w.kv("trace", trace);
     w.key("params");
     w.rawValue(params_json.empty() ? "{}" : params_json);
     w.endObject();
@@ -98,6 +99,16 @@ ParsedRequest parseRequest(std::string_view frame) {
         if (d.kind != JsonValue::Kind::Num || !(d.num >= 0) || !std::isfinite(d.num))
             badFrame("field \"deadline_ms\" must be a finite non-negative number");
         req.deadline_ms = d.num;
+    }
+
+    if (doc.has("trace")) {
+        const JsonValue& tr = doc.at("trace");
+        if (tr.kind != JsonValue::Kind::Str)
+            badFrame("field \"trace\" must be a string");
+        if (tr.str.size() > kMaxTraceBytes)
+            badFrame("field \"trace\" must be at most " + std::to_string(kMaxTraceBytes) +
+                     " bytes");
+        req.trace = tr.str;
     }
 
     if (doc.has("params")) {

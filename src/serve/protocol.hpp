@@ -24,6 +24,13 @@
 // assigned request identity, also threaded through the telemetry lanes
 // (obs::ScopedTraceId) so a trace export groups one request's spans.
 //
+// Trace context propagates over the wire: a request may carry an optional
+// `trace` string (client-chosen, <= kMaxTraceBytes). The server adopts it
+// as the prefix of its own id — the response's trace_id and every server
+// span become "<trace>/r-NNNNNN" — so one request's client and server
+// spans group under one identity in a merged fleet trace. Requests
+// without `trace` keep plain server-minted ids.
+//
 // Server-side parsing runs under kWireLimits — the untrusted-input bounds
 // of util/json.hpp's parseJson — plus a frame-size cap at the transport.
 #pragma once
@@ -49,6 +56,10 @@ inline constexpr JsonLimits kWireLimits{/*max_depth=*/16,
 /// 64 MiB hard limit; a request has no business being this large).
 inline constexpr std::size_t kMaxRequestFrame = 1u << 20;
 
+/// Cap on the client-supplied `trace` field: ids are for humans and trace
+/// viewers, not payload smuggling.
+inline constexpr std::size_t kMaxTraceBytes = 128;
+
 enum class RequestType { Ping, Flow, Fuzz, Equiv, Metrics, Shutdown };
 
 [[nodiscard]] std::string_view toString(RequestType t) noexcept;
@@ -60,6 +71,7 @@ struct Request {
     std::uint64_t id = 0;
     RequestType type = RequestType::Ping;
     double deadline_ms = 0.0; ///< 0 = no deadline
+    std::string trace;        ///< optional client trace context, "" = none
     std::string params_json = "{}";
 
     [[nodiscard]] std::string toJson() const;
@@ -72,7 +84,8 @@ struct ParsedRequest {
     std::uint64_t id = 0;
     RequestType type = RequestType::Ping;
     double deadline_ms = 0.0;
-    JsonValue params; ///< object, or Null when the request omitted it
+    std::string trace; ///< validated client trace context, "" = none
+    JsonValue params;  ///< object, or Null when the request omitted it
 };
 
 [[nodiscard]] ParsedRequest parseRequest(std::string_view frame);

@@ -3,6 +3,7 @@
 #include "cell/cells.hpp"
 #include "dft/scan.hpp"
 #include "iscas/circuits.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/exec_policy.hpp"
@@ -120,7 +121,32 @@ void StatsSnapshot::writeJson(JsonWriter& w) const {
     w.endObject();
 }
 
-Server::Server(ServeOptions opts) : opts_(std::move(opts)), flow_(opts_.flow) {}
+namespace {
+
+/// Histogram summary as a JSON object — the metrics response's latency
+/// section shares the rollup shape of obs::metricsJson() histograms.
+void writeLatencySummary(JsonWriter& w, const obs::Histogram& h) {
+    const obs::Histogram::Summary s = h.summarize();
+    w.beginObject();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("p50", s.p50);
+    w.kv("p95", s.p95);
+    w.kv("p99", s.p99);
+    w.endObject();
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts) : opts_(std::move(opts)), flow_(opts_.flow) {
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        const std::string t(toString(static_cast<RequestType>(i)));
+        queue_hist_[i] = &obs::histogram("serve.latency." + t + ".queue_ms");
+        service_hist_[i] = &obs::histogram("serve.latency." + t + ".service_ms");
+    }
+}
 
 Server::~Server() { stop(); }
 
@@ -148,6 +174,7 @@ void Server::start() {
     for (unsigned i = 0; i < n_workers_; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
     listen_thread_ = std::thread([this] { listenLoop(); });
+    start_time_ = Clock::now();
     started_ = true;
 }
 
@@ -275,6 +302,15 @@ void Server::sessionLoop(const std::shared_ptr<Session>& session) {
 }
 
 void Server::retireSession(const std::shared_ptr<Session>& session) {
+    if (obs::eventLogEnabled()) {
+        std::size_t open = 0;
+        {
+            std::lock_guard<std::mutex> lock(sessions_mu_);
+            open = sessions_.size();
+        }
+        obs::logEvent(obs::EventLevel::Debug, "serve", "session_close",
+                      {{"open_sessions", static_cast<std::uint64_t>(open)}});
+    }
     // Unblock any send stuck on a full socket buffer before taking
     // write_mu, so a worker mid-response cannot hold the close back.
     session->sock.shutdownBoth();
@@ -361,7 +397,11 @@ void Server::handleFrame(const std::shared_ptr<Session>& session, const std::str
     Job job;
     job.req = std::move(req);
     job.session = session;
-    job.trace_id = nextTraceId();
+    // Wire-propagated trace context: a client-supplied trace becomes the
+    // prefix of the server-minted id, so the merged fleet trace groups
+    // this request's client and server spans under one identity.
+    job.trace_id = job.req.trace.empty() ? nextTraceId()
+                                         : job.req.trace + "/" + nextTraceId();
     job.enqueued = Clock::now();
     job.deadline_ms = job.req.deadline_ms > 0.0 ? job.req.deadline_ms : opts_.default_deadline_ms;
 
@@ -524,6 +564,10 @@ void Server::process(Job job, std::vector<Job> absorbed) {
             return lead.req.type == RequestType::Fuzz ? fuzzResultJson(lead)
                                                       : equivResultJson(lead);
         });
+        if (out.coalesced)
+            obs::logEvent(obs::EventLevel::Info, "serve", "coalesced",
+                          {{"type", std::string(toString(lead.req.type))},
+                           {"trace", lead.trace_id}});
         respondOk(lead, out.value, out.coalesced, queueMs(lead), msSince(t0));
     } catch (const BadRequest& e) {
         rejectJob(lead, "bad_request", e.what());
@@ -561,6 +605,10 @@ void Server::runFlowBatch(const std::vector<Job*>& members, Clock::time_point t0
         stats_.batched.fetch_add(alive.size() - 1, relaxed);
         static obs::Counter& c_batched = obs::counter("serve.batched");
         c_batched.add(alive.size() - 1);
+        obs::logEvent(obs::EventLevel::Info, "serve", "batch_absorbed",
+                      {{"members", static_cast<std::uint64_t>(alive.size())},
+                       {"circuits", static_cast<std::uint64_t>(merged.circuits.size())},
+                       {"trace", alive.front()->trace_id}});
     }
 
     try {
@@ -652,8 +700,36 @@ std::string Server::equivResultJson(const Job& job) {
 std::string Server::metricsResultJson() {
     JsonWriter w;
     w.beginObject();
+    // v2: adds uptime_s, the per-type "requests" breakdown, and "latency"
+    // histogram summaries next to the v1 serve/cache/metrics sections.
+    w.kv("schema", "flh.serve.metrics/2");
+    w.kv("uptime_s", msSince(start_time_) / 1000.0);
     w.key("serve");
     stats().writeJson(w);
+    w.key("requests");
+    w.beginObject();
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        w.key(toString(static_cast<RequestType>(i)));
+        w.beginObject();
+        w.kv("ok", type_stats_[i].ok.load(relaxed));
+        w.kv("error", type_stats_[i].error.load(relaxed));
+        w.kv("coalesced", type_stats_[i].coalesced.load(relaxed));
+        w.endObject();
+    }
+    w.endObject();
+    w.key("latency");
+    w.beginObject();
+    for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+        if (queue_hist_[i]->count() == 0 && service_hist_[i]->count() == 0) continue;
+        w.key(toString(static_cast<RequestType>(i)));
+        w.beginObject();
+        w.key("queue_ms");
+        writeLatencySummary(w, *queue_hist_[i]);
+        w.key("service_ms");
+        writeLatencySummary(w, *service_hist_[i]);
+        w.endObject();
+    }
+    w.endObject();
     // Cache stats come straight from the service's shared FlowCache handle
     // (always-on, like the serve stats) rather than the obs gauges, which
     // only record when telemetry is enabled.
@@ -679,10 +755,17 @@ void Server::respondOk(const Job& job, std::string result, bool coalesced, doubl
     stats_.ok.fetch_add(1, relaxed);
     static obs::Counter& c_ok = obs::counter("serve.ok");
     c_ok.add();
+    const auto ti = static_cast<std::size_t>(job.req.type);
+    type_stats_[ti].ok.fetch_add(1, relaxed);
+    // Always-on observe(): the latency breakdown in the metrics response
+    // works with telemetry off, like the rest of stats_.
+    queue_hist_[ti]->observe(queue_ms);
+    service_hist_[ti]->observe(wall_ms);
     if (coalesced) {
         stats_.coalesced.fetch_add(1, relaxed);
         static obs::Counter& c_coal = obs::counter("serve.coalesced");
         c_coal.add();
+        type_stats_[ti].coalesced.fetch_add(1, relaxed);
     }
     Response r = Response::okFor(job.req.id, job.trace_id, std::move(result));
     r.queue_ms = queue_ms;
@@ -696,14 +779,28 @@ void Server::rejectJob(const Job& job, const char* code, std::string message,
                        double retry_after_ms) {
     const std::string_view c{code};
     stats_.errors.fetch_add(1, relaxed);
-    if (c == "overloaded")
+    type_stats_[static_cast<std::size_t>(job.req.type)].error.fetch_add(1, relaxed);
+    if (c == "overloaded") {
         stats_.rejected_overload.fetch_add(1, relaxed);
-    else if (c == "deadline_exceeded")
+        obs::logEvent(obs::EventLevel::Warn, "serve", "overload_reject",
+                      {{"type", std::string(toString(job.req.type))},
+                       {"retry_after_ms", retry_after_ms},
+                       {"trace", job.trace_id}});
+    } else if (c == "deadline_exceeded") {
         stats_.rejected_deadline.fetch_add(1, relaxed);
-    else if (c == "shutting_down")
+        obs::logEvent(obs::EventLevel::Info, "serve", "deadline_reject",
+                      {{"type", std::string(toString(job.req.type))},
+                       {"deadline_ms", job.deadline_ms},
+                       {"trace", job.trace_id}});
+    } else if (c == "shutting_down") {
         stats_.rejected_shutdown.fetch_add(1, relaxed);
-    else if (c == "bad_request")
+    } else if (c == "bad_request") {
         stats_.bad_requests.fetch_add(1, relaxed);
+    } else if (c == "internal") {
+        obs::logEvent(obs::EventLevel::Error, "serve", "internal_error",
+                      {{"type", std::string(toString(job.req.type))},
+                       {"trace", job.trace_id}});
+    }
     static obs::Counter& c_err = obs::counter("serve.errors");
     c_err.add();
     sendResponse(*job.session, Response::errorFor(job.req.id, job.trace_id,

@@ -36,9 +36,17 @@
 // Observability: every request gets a server-assigned trace id, set as
 // the thread-local obs trace id for the duration of its handler — all
 // spans recorded below it (flow stages, fault-sim partitions) carry
-// args.trace_id in the trace export. Request counters mirror into the
-// obs registry (serve.* names) and into always-on internal atomics that
-// the metrics request and stats() report regardless of telemetry state.
+// args.trace_id in the trace export. A request that carries a `trace`
+// field continues the client's context instead: the id becomes
+// "<client-trace>/r-NNNNNN", grouping client and server spans in a
+// merged fleet trace. Request counters mirror into the obs registry
+// (serve.* names) and into always-on internal atomics that the metrics
+// request and stats() report regardless of telemetry state; queue-wait
+// and service-time land in always-on per-request-type histograms
+// (serve.latency.<type>.{queue_ms,service_ms}) surfaced by the metrics
+// request. Decision points that produce no response detail — overload
+// and deadline rejections, batch absorption, coalescing, session
+// retirement — emit structured events (obs/eventlog.hpp).
 //
 // Graceful stop: new connections and admissions are refused, session
 // sockets are shut down read-side only (in-flight responses still flush),
@@ -51,6 +59,7 @@
 #include "serve/protocol.hpp"
 #include "util/socket.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -63,6 +72,7 @@
 #include <vector>
 
 namespace flh::obs {
+class Histogram;
 class Sampler;
 } // namespace flh::obs
 
@@ -240,12 +250,26 @@ private:
 
     std::atomic<std::uint64_t> next_trace_{0};
     std::atomic<std::uint64_t> ema_service_us_{20000}; ///< seeded at 20 ms
+    std::chrono::steady_clock::time_point start_time_{};
 
     struct Stats {
         std::atomic<std::uint64_t> connections{0}, accepted{0}, completed{0}, ok{0},
             errors{0}, bad_requests{0}, rejected_overload{0}, rejected_deadline{0},
             rejected_shutdown{0}, coalesced{0}, batched{0}, dropped_replies{0};
     } stats_;
+
+    /// Always-on per-request-type breakdown behind the metrics response's
+    /// "requests" section; indexed by RequestType.
+    static constexpr std::size_t kNumRequestTypes = 6;
+    struct TypeCounters {
+        std::atomic<std::uint64_t> ok{0}, error{0}, coalesced{0};
+    };
+    std::array<TypeCounters, kNumRequestTypes> type_stats_;
+    /// Registry-owned latency histograms, one queue-wait + one
+    /// service-time per request type; recorded via the always-on
+    /// observe() path (same double-booking rule as stats_).
+    std::array<obs::Histogram*, kNumRequestTypes> queue_hist_{};
+    std::array<obs::Histogram*, kNumRequestTypes> service_hist_{};
 };
 
 } // namespace flh::serve

@@ -46,6 +46,7 @@ bool CommonFlags::tryParse(ArgScan& scan) {
         threads_set = true;
     } else if (scan.is("--trace")) trace_path = scan.value();
     else if (scan.is("--metrics")) metrics_path = scan.value();
+    else if (scan.is("--events")) events_path = scan.value();
     else if (scan.is("--out")) out_flag = scan.value();
     else if (scan.is("--heartbeat")) heartbeat_s = scan.num<double>();
     else if (scan.is("--quiet")) quiet = true;

@@ -87,6 +87,7 @@ private:
 ///   --threads N   worker threads (0 = one per hardware thread)
 ///   --trace FILE  Chrome trace_event export path
 ///   --metrics FILE telemetry metrics export path
+///   --events FILE structured JSONL event-log sink path
 ///   --out DIR     bench-export directory (overrides FLH_BENCH_OUT)
 ///   --heartbeat S rate-limited stderr progress line cadence
 ///   --quiet       suppress console output
@@ -99,6 +100,7 @@ struct CommonFlags {
     bool threads_set = false; ///< --threads appeared (for override defaults)
     std::string trace_path;
     std::string metrics_path;
+    std::string events_path;
     std::string out_flag;
     double heartbeat_s = 0.0;
     bool quiet = false;

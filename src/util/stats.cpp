@@ -1,0 +1,17 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+
+namespace flh::stats {
+
+double percentileSorted(const double* sorted, std::size_t n, double p) noexcept {
+    if (n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double idx = p * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace flh::stats

@@ -528,9 +528,19 @@ TEST(ManifestDrain, ClaimsEachDesignOnceAndWarmRedrainHitsEverything) {
     // The drain summary carries the claim counts and the cache snapshot.
     CacheConfig cfg = opts.cache;
     const std::string summary = r3.summaryJson(FlowCache(cfg).stats());
-    EXPECT_NE(summary.find("\"schema\": \"flh.flow.drain/1\""), std::string::npos);
+    EXPECT_NE(summary.find("\"schema\": \"flh.flow.drain/2\""), std::string::npos);
     EXPECT_NE(summary.find("\"claimed\": 3"), std::string::npos);
     EXPECT_NE(summary.find("\"hit_rate\": 1"), std::string::npos);
+
+    // /2 additions: per-design wall times and their mergeable histogram.
+    EXPECT_EQ(r3.drained.size(), 3u);
+    EXPECT_GT(r3.drain_wall_ms, 0.0);
+    for (const DrainedDesign& d : r3.drained) {
+        EXPECT_FALSE(d.failed);
+        EXPECT_GT(d.wall_ms, 0.0);
+    }
+    EXPECT_NE(summary.find("\"drain_ms\""), std::string::npos);
+    EXPECT_NE(summary.find("\"count\": 3"), std::string::npos);
 }
 
 TEST(ManifestDrain, ForkedDrainersPartitionTheManifestExactly) {

@@ -6,12 +6,19 @@
 #include "obs/telemetry.hpp"
 
 #include "flow/engine.hpp"
+#include "obs/eventlog.hpp"
 #include "util/json.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -266,6 +273,332 @@ TEST_F(ObsFlow, FlowRunEmitsOneStageSpanPerDesignStagePair) {
     const JsonValue metrics = parseJson(obs::metricsJson());
     EXPECT_EQ(metrics.at("counters").at("flow.tasks").num, 4.0);
     EXPECT_EQ(metrics.at("counters").at("flow.cache_hits").num, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+
+using ObsHistogram = ObsFixture;
+
+TEST_F(ObsHistogram, BucketBoundariesAreExactAndContiguous) {
+    // A bucket's inclusive lower edge maps back to that bucket, and the
+    // value just below it maps to the previous one. Sweep a wide exponent
+    // range so both the sub-bucket math and the exponent math get hit.
+    for (std::size_t idx : {std::size_t{1},   std::size_t{17},  std::size_t{160},
+                            std::size_t{333}, std::size_t{512}, std::size_t{1000}}) {
+        const double lo = obs::histogramBucketLo(idx);
+        ASSERT_GT(lo, 0.0);
+        EXPECT_EQ(obs::histogramBucketIndex(lo), idx) << "lo of bucket " << idx;
+        const double below = std::nextafter(lo, 0.0);
+        EXPECT_EQ(obs::histogramBucketIndex(below), idx - 1) << "just below bucket " << idx;
+        // Edges tile [0, inf): hi(idx) == lo(idx+1).
+        EXPECT_EQ(obs::histogramBucketHi(idx), obs::histogramBucketLo(idx + 1));
+    }
+    // Index 0 absorbs zero, negatives, and non-finite garbage.
+    EXPECT_EQ(obs::histogramBucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::histogramBucketIndex(-3.5), 0u);
+    EXPECT_EQ(obs::histogramBucketLo(0), 0.0);
+    // The last bucket absorbs overflow and has an infinite upper edge.
+    const std::size_t last = obs::Histogram::kBucketCount - 1;
+    EXPECT_EQ(obs::histogramBucketIndex(1e300), last);
+    EXPECT_TRUE(std::isinf(obs::histogramBucketHi(last)));
+}
+
+TEST_F(ObsHistogram, SummaryRollsUpCountSumMinMaxAndOrderedPercentiles) {
+    obs::setEnabled(true);
+    obs::Histogram& h = obs::histogram("obs_test.hist.summary");
+    for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+    const obs::Histogram::Summary s = h.summarize();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    // Log buckets hold ~2 significant digits, so percentile estimates sit
+    // within one bucket width (<10%) of the exact ranks.
+    EXPECT_NEAR(s.p50, 50.5, 5.1);
+    EXPECT_NEAR(s.p95, 95.05, 9.6);
+    EXPECT_NEAR(s.p99, 99.01, 10.0);
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.max);
+    EXPECT_GE(s.p50, s.min);
+}
+
+TEST_F(ObsHistogram, DisabledRecordIsANoopButObserveIsNot) {
+    ASSERT_FALSE(obs::enabled());
+    obs::Histogram& h = obs::histogram("obs_test.hist.disabled");
+    h.record(3.0);
+    h.record(4.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    // An empty summary is all zeros — no inf min/max leaking into JSON.
+    const obs::Histogram::Summary empty = h.summarize();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.min, 0.0);
+    EXPECT_EQ(empty.max, 0.0);
+    EXPECT_EQ(empty.p99, 0.0);
+
+    // observe() is the always-on entry point (drain summaries use it on a
+    // stack-local histogram regardless of the global flag).
+    h.observe(3.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+}
+
+TEST_F(ObsHistogram, ConcurrentRecordersLoseNoUpdates) {
+    obs::setEnabled(true);
+    obs::Histogram& h = obs::histogram("obs_test.hist.concurrent");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(0.5 + t + static_cast<double>(i % 97));
+        });
+    for (std::thread& w : workers) w.join();
+
+    const std::uint64_t want = std::uint64_t{kThreads} * kPerThread;
+    EXPECT_EQ(h.count(), want);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t c : h.bucketCounts()) bucket_total += c;
+    EXPECT_EQ(bucket_total, want);
+    const obs::Histogram::Summary s = h.summarize();
+    EXPECT_DOUBLE_EQ(s.min, 0.5);
+    EXPECT_DOUBLE_EQ(s.max, 0.5 + 3.0 + 96.0);
+}
+
+TEST_F(ObsHistogram, MergeByBucketAdditionMatchesCombinedHistogram) {
+    // The fleet merger adds bucket vectors element-wise and re-derives
+    // percentiles; that must agree with one histogram that saw everything.
+    obs::setEnabled(true);
+    obs::Histogram& a = obs::histogram("obs_test.hist.merge_a");
+    obs::Histogram& b = obs::histogram("obs_test.hist.merge_b");
+    obs::Histogram& all = obs::histogram("obs_test.hist.merge_all");
+    for (int i = 1; i <= 40; ++i) {
+        const double v = 0.25 * i;
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+
+    std::vector<std::uint64_t> merged = a.bucketCounts();
+    const std::vector<std::uint64_t> bb = b.bucketCounts();
+    for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += bb[i];
+
+    std::uint64_t merged_total = 0;
+    for (std::uint64_t c : merged) merged_total += c;
+    EXPECT_EQ(merged_total, all.count());
+
+    const obs::Histogram::Summary want = all.summarize();
+    const double min_v = std::min(a.summarize().min, b.summarize().min);
+    const double max_v = std::max(a.summarize().max, b.summarize().max);
+    for (double p : {0.50, 0.95, 0.99}) {
+        const double via_merge = obs::percentileFromBuckets(merged, p, min_v, max_v);
+        const double via_all = obs::percentileFromBuckets(all.bucketCounts(), p, min_v, max_v);
+        EXPECT_DOUBLE_EQ(via_merge, via_all) << "p=" << p;
+    }
+    // Summary percentiles come from the same bucket math.
+    EXPECT_DOUBLE_EQ(want.p50, obs::percentileFromBuckets(all.bucketCounts(), 0.5, want.min, want.max));
+}
+
+TEST_F(ObsHistogram, MetricsJsonCarriesHistogramSummaries) {
+    obs::setEnabled(true);
+    obs::Histogram& h = obs::histogram("obs_test.hist.exported");
+    h.record(2.0);
+    h.record(8.0);
+
+    const JsonValue metrics = parseJson(obs::metricsJson());
+    const JsonValue& hj = metrics.at("histograms").at("obs_test.hist.exported");
+    EXPECT_EQ(hj.at("count").num, 2.0);
+    EXPECT_DOUBLE_EQ(hj.at("sum").num, 10.0);
+    EXPECT_DOUBLE_EQ(hj.at("min").num, 2.0);
+    EXPECT_DOUBLE_EQ(hj.at("max").num, 8.0);
+    EXPECT_GE(hj.at("p99").num, hj.at("p50").num);
+}
+
+TEST_F(ObsExport, TraceJsonCarriesWallClockAnchor) {
+    obs::setEnabled(true);
+    { obs::ScopedSpan s("anchored"); }
+    const JsonValue trace = parseJson(obs::traceJson());
+    // The wall anchor lets a merger align N processes' steady clocks.
+    EXPECT_GT(trace.at("wall_epoch_us").num, 1e15); // after ~2001 in us
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation.
+
+using ObsTraceId = ObsFixture;
+
+TEST_F(ObsTraceId, ScopedTraceIdNestsAndRestores) {
+    EXPECT_EQ(obs::currentTraceId(), "");
+    {
+        obs::ScopedTraceId outer("req-7");
+        EXPECT_EQ(obs::currentTraceId(), "req-7");
+        {
+            obs::ScopedTraceId inner("req-7/sub-1");
+            EXPECT_EQ(obs::currentTraceId(), "req-7/sub-1");
+        }
+        EXPECT_EQ(obs::currentTraceId(), "req-7");
+    }
+    EXPECT_EQ(obs::currentTraceId(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log.
+
+/// Event-log tests reset the separate event-log state (own enable flag,
+/// ring, rate-limit buckets, drop counters) on both sides.
+struct EventLogFixture : ObsFixture {
+    void SetUp() override {
+        ObsFixture::SetUp();
+        obs::setEventLogEnabled(false);
+        obs::configureEventLog(obs::EventLogConfig{}); // also clears the ring
+        obs::resetEventLog();
+    }
+    void TearDown() override {
+        obs::setEventLogEnabled(false);
+        obs::closeEventSink(); // no-op when no sink is open
+        obs::configureEventLog(obs::EventLogConfig{});
+        obs::resetEventLog();
+        ObsFixture::TearDown();
+    }
+};
+
+using ObsEvents = EventLogFixture;
+
+TEST_F(ObsEvents, DisabledLogEventRecordsNothing) {
+    ASSERT_FALSE(obs::eventLogEnabled());
+    obs::logEvent(obs::EventLevel::Warn, "test", "should_vanish", {{"k", 1}});
+    const obs::EventLogStats st = obs::eventLogStats();
+    EXPECT_EQ(st.emitted, 0u);
+    EXPECT_EQ(st.dropped_rate_limited, 0u);
+    const JsonValue doc = parseJson(obs::eventsJson());
+    EXPECT_TRUE(doc.at("events").arr.empty());
+}
+
+TEST_F(ObsEvents, EventsLandInRingWithFieldsLevelAndTraceId) {
+    obs::setEventLogEnabled(true);
+    {
+        obs::ScopedTraceId tid("req-42");
+        obs::logEvent(obs::EventLevel::Info, "serve", "reject",
+                      {{"reason", "queue_full"}, {"depth", 128}});
+    }
+    obs::logEvent(obs::EventLevel::Error, "cache", "gc_evict", {{"bytes", 4096.0}});
+
+    const JsonValue doc = parseJson(obs::eventsJson());
+    EXPECT_EQ(doc.at("schema").str, "flh.obs.events/1");
+    ASSERT_EQ(doc.at("events").arr.size(), 2u);
+    const JsonValue& first = doc.at("events").arr[0];
+    EXPECT_EQ(first.at("component").str, "serve");
+    EXPECT_EQ(first.at("event").str, "reject");
+    EXPECT_EQ(first.at("level").str, "info");
+    EXPECT_EQ(first.at("trace_id").str, "req-42");
+    EXPECT_EQ(first.at("fields").at("reason").str, "queue_full");
+    EXPECT_EQ(first.at("fields").at("depth").num, 128.0);
+    const JsonValue& second = doc.at("events").arr[1];
+    EXPECT_EQ(second.at("level").str, "error");
+    EXPECT_EQ(second.obj.count("trace_id"), 0u); // no ambient trace id
+    EXPECT_GE(second.at("ts_us").num, first.at("ts_us").num);
+}
+
+TEST_F(ObsEvents, RingEvictsOldestAndCountsEvictions) {
+    obs::EventLogConfig cfg;
+    cfg.ring_capacity = 4;
+    cfg.tokens_per_sec = 1e9; // rate limiting out of the way
+    cfg.burst = 1e9;
+    obs::configureEventLog(cfg);
+    obs::setEventLogEnabled(true);
+
+    for (int i = 0; i < 10; ++i)
+        obs::logEvent(obs::EventLevel::Info, "test", "e" + std::to_string(i));
+
+    const obs::EventLogStats st = obs::eventLogStats();
+    EXPECT_EQ(st.emitted, 10u);
+    EXPECT_EQ(st.evicted_ring, 6u);
+    const JsonValue doc = parseJson(obs::eventsJson());
+    ASSERT_EQ(doc.at("events").arr.size(), 4u);
+    // Oldest-first snapshot of the surviving tail.
+    EXPECT_EQ(doc.at("events").arr[0].at("event").str, "e6");
+    EXPECT_EQ(doc.at("events").arr[3].at("event").str, "e9");
+}
+
+TEST_F(ObsEvents, TokenBucketDropsBurstsPerComponentAndLevel) {
+    obs::EventLogConfig cfg;
+    cfg.tokens_per_sec = 0.0; // no refill: burst is the whole budget
+    cfg.burst = 3.0;
+    obs::configureEventLog(cfg);
+    obs::setEventLogEnabled(true);
+
+    for (int i = 0; i < 8; ++i)
+        obs::logEvent(obs::EventLevel::Info, "noisy", "spam");
+    // A different (component, level) pair has its own bucket.
+    obs::logEvent(obs::EventLevel::Warn, "noisy", "still_heard");
+
+    const obs::EventLogStats st = obs::eventLogStats();
+    EXPECT_EQ(st.emitted, 4u);
+    EXPECT_EQ(st.dropped_rate_limited, 5u);
+    const JsonValue doc = parseJson(obs::eventsJson());
+    EXPECT_EQ(doc.at("dropped_rate_limited").num, 5.0);
+    ASSERT_EQ(doc.at("events").arr.size(), 4u);
+    EXPECT_EQ(doc.at("events").arr[3].at("event").str, "still_heard");
+}
+
+TEST_F(ObsEvents, FileSinkWritesHeaderEventsAndCloseTrailer) {
+    const std::string path = ::testing::TempDir() + "flh_obs_events_test.jsonl";
+    ASSERT_TRUE(obs::openEventSink(path));
+    obs::setEventLogEnabled(true);
+    obs::logEvent(obs::EventLevel::Info, "drain", "claim", {{"design", "s1423"}});
+    obs::logEvent(obs::EventLevel::Debug, "drain", "claim_race", {{"design", "s27"}});
+    obs::closeEventSink();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty()) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u); // header + 2 events + trailer
+
+    const JsonValue header = parseJson(lines[0]);
+    EXPECT_EQ(header.at("schema").str, "flh.obs.events/1");
+    EXPECT_GT(header.at("wall_epoch_us").num, 1e15);
+
+    const JsonValue ev = parseJson(lines[1]);
+    EXPECT_EQ(ev.at("component").str, "drain");
+    EXPECT_EQ(ev.at("event").str, "claim");
+    EXPECT_EQ(ev.at("fields").at("design").str, "s1423");
+
+    const JsonValue trailer = parseJson(lines[3]);
+    EXPECT_EQ(trailer.at("event").str, "sink_close");
+    EXPECT_EQ(trailer.at("fields").at("emitted").num, 2.0);
+    EXPECT_EQ(trailer.at("fields").at("dropped_rate_limited").num, 0.0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceId, SpansExportTheActiveTraceId) {
+    obs::setEnabled(true);
+    {
+        obs::ScopedTraceId tid("flhc-9.c0.r1/r-0001");
+        obs::ScopedSpan s("traced-work");
+    }
+    { obs::ScopedSpan s("untraced-work"); }
+
+    const JsonValue trace = parseJson(obs::traceJson());
+    bool saw_traced = false, saw_untraced = false;
+    for (const JsonValue& e : completeEvents(trace)) {
+        if (e.at("name").str == "traced-work") {
+            saw_traced = true;
+            EXPECT_EQ(e.at("args").at("trace_id").str, "flhc-9.c0.r1/r-0001");
+        } else if (e.at("name").str == "untraced-work") {
+            saw_untraced = true;
+            const auto args = e.obj.find("args");
+            if (args != e.obj.end()) {
+                EXPECT_EQ(args->second.obj.count("trace_id"), 0u);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_traced);
+    EXPECT_TRUE(saw_untraced);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include "serve/batcher.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "obs/telemetry.hpp"
 #include "util/socket.hpp"
 
 #include <gtest/gtest.h>
@@ -524,6 +525,95 @@ TEST(ServeServer, OversizedFrameIsRejectedAsBadRequest) {
     const ParsedResponse resp = parseResponse(*raw);
     EXPECT_FALSE(resp.ok);
     EXPECT_EQ(resp.error.code, "bad_request");
+}
+
+// ---- observability -----------------------------------------------------
+
+TEST(ServeProtocol, TraceFieldRoundTripsAndIsBounded) {
+    Request req;
+    req.id = 9;
+    req.trace = "cli-1.c0.r9";
+    const ParsedRequest p = parseRequest(req.toJson());
+    EXPECT_EQ(p.trace, "cli-1.c0.r9");
+
+    // Absent trace parses to empty; the field is optional on the wire.
+    EXPECT_TRUE(parseRequest(R"({"id": 1, "type": "ping"})").trace.empty());
+    // Non-string or oversized traces are rejected at the frame layer.
+    EXPECT_THROW((void)parseRequest(R"({"id": 1, "type": "ping", "trace": 7})"),
+                 std::runtime_error);
+    const std::string big(kMaxTraceBytes + 1, 't');
+    EXPECT_THROW(
+        (void)parseRequest(R"({"id": 1, "type": "ping", "trace": ")" + big + "\"}"),
+        std::runtime_error);
+    const std::string edge(kMaxTraceBytes, 't');
+    EXPECT_EQ(parseRequest(R"({"id": 1, "type": "ping", "trace": ")" + edge + "\"}").trace,
+              edge);
+}
+
+TEST(ServeServer, WireTraceBecomesServerTraceIdPrefix) {
+    obs::setEnabled(true);
+    obs::reset();
+    {
+        ServerFixture fx;
+        const net::Socket sock = fx.connect();
+        Request req = flowRequest(1, R"(["s27"])", 4);
+        req.trace = "flhc-42.c0.r1";
+        const ParsedResponse resp = roundTrip(sock, req);
+        ASSERT_TRUE(resp.ok);
+        // The server adopts the wire trace as the prefix of its own id.
+        EXPECT_EQ(resp.trace_id.rfind("flhc-42.c0.r1/", 0), 0u);
+
+        // ... and the adopted id reaches the spans the worker recorded, so
+        // a merged fleet trace groups client and server by request.
+        const JsonValue trace = parseJson(obs::traceJson());
+        bool saw = false;
+        for (const JsonValue& e : trace.at("traceEvents").arr) {
+            if (!e.has("args") || !e.at("args").has("trace_id")) continue;
+            if (e.at("args").at("trace_id").str.rfind("flhc-42.c0.r1/", 0) == 0) saw = true;
+        }
+        EXPECT_TRUE(saw);
+
+        // A request without the field keeps the server-minted id alone.
+        const ParsedResponse bare = roundTrip(sock, flowRequest(2, R"(["s27"])", 4));
+        ASSERT_TRUE(bare.ok);
+        EXPECT_EQ(bare.trace_id.find('/'), std::string::npos);
+    }
+    obs::setEnabled(false);
+    obs::reset();
+}
+
+TEST(ServeServer, MetricsV2ReportsUptimeRequestsAndLatency) {
+    obs::reset(); // latency histograms live in the process-global registry
+    ServerFixture fx;
+    const net::Socket sock = fx.connect();
+    ASSERT_TRUE(roundTrip(sock, flowRequest(1, R"(["s27"])", 8)).ok);
+
+    Request req;
+    req.id = 2;
+    req.type = RequestType::Metrics;
+    const ParsedResponse resp = roundTrip(sock, req);
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.result.at("schema").str, "flh.serve.metrics/2");
+    EXPECT_GE(resp.result.at("uptime_s").num, 0.0);
+
+    // Per-type request breakdown covers every type, counted always-on.
+    const JsonValue& reqs = resp.result.at("requests");
+    for (const char* type : {"ping", "flow", "fuzz", "equiv", "metrics", "shutdown"})
+        ASSERT_TRUE(reqs.has(type)) << type;
+    EXPECT_DOUBLE_EQ(reqs.at("flow").at("ok").num, 1.0);
+    EXPECT_DOUBLE_EQ(reqs.at("flow").at("error").num, 0.0);
+    EXPECT_DOUBLE_EQ(reqs.at("flow").at("coalesced").num, 0.0);
+
+    // Latency histograms are always-on too (double-booked next to the
+    // gated telemetry): the one flow request shows up with a sane
+    // queue/service split.
+    const JsonValue& lat = resp.result.at("latency");
+    ASSERT_TRUE(lat.has("flow"));
+    const JsonValue& flow = lat.at("flow");
+    EXPECT_DOUBLE_EQ(flow.at("service_ms").at("count").num, 1.0);
+    EXPECT_GT(flow.at("service_ms").at("max").num, 0.0);
+    EXPECT_GE(flow.at("service_ms").at("p95").num, flow.at("service_ms").at("p50").num);
+    EXPECT_DOUBLE_EQ(flow.at("queue_ms").at("count").num, 1.0);
 }
 
 } // namespace

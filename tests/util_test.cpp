@@ -1,6 +1,7 @@
 #include "util/exec_policy.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -292,6 +293,35 @@ TEST(ExecPolicy, ZeroFloorMeansNoWorkBasedClamp) {
 TEST(ExecPolicy, DefaultIsSerial) {
     const ExecPolicy p;
     EXPECT_EQ(p.resolveThreads(100000), 1u);
+}
+
+TEST(Stats, PercentileSortedEmptyAndSingle) {
+    EXPECT_EQ(stats::percentileSorted(std::vector<double>{}, 0.5), 0.0);
+    EXPECT_EQ(stats::percentileSorted({7.5}, 0.0), 7.5);
+    EXPECT_EQ(stats::percentileSorted({7.5}, 0.5), 7.5);
+    EXPECT_EQ(stats::percentileSorted({7.5}, 1.0), 7.5);
+}
+
+TEST(Stats, PercentileSortedInterpolatesLinearly) {
+    // NumPy "linear" convention: rank = p * (n - 1), lerp between the
+    // bracketing samples.
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, 0.5), 25.0);  // rank 1.5
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, 0.25), 17.5); // rank 0.75
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, 1.0), 40.0);
+}
+
+TEST(Stats, PercentileSortedClampsP) {
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(stats::percentileSorted(v, 2.0), 3.0);
+}
+
+TEST(Stats, MedianSortedMatchesHalvesConvention) {
+    EXPECT_DOUBLE_EQ(stats::medianSorted({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::medianSorted({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_EQ(stats::medianSorted(std::vector<double>{}), 0.0);
 }
 
 } // namespace
